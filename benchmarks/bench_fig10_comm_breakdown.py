@@ -1,0 +1,33 @@
+"""Fig. 10: strong scaling of MPI operations, CPU-GPU memory copies and computation."""
+
+import pytest
+
+from repro.analysis import TABLE2, TABLE1_GPU_COUNTS, format_table
+
+
+def test_fig10_comm_breakdown(benchmark, si1536_model, report_writer):
+    gpu_counts = (36, 72, 144, 288, 384, 768, 1536)
+
+    def run():
+        return {n: si1536_model.communication_breakdown(n) for n in gpu_counts}
+
+    breakdowns = benchmark(run)
+
+    rows = []
+    for n in gpu_counts:
+        b = breakdowns[n]
+        rows.append([n, b.bcast, b.memcpy, b.alltoallv, b.allreduce, b.compute])
+    table = format_table(
+        ["#GPUs", "MPI_Bcast", "memcpy", "MPI_Alltoallv", "MPI_Allreduce", "compute"], rows
+    )
+    report_writer("fig10_comm_breakdown", table)
+
+    # the paper's observations:
+    # (1) computation scales down, (2) memcpy and alltoallv scale down,
+    # (3) allreduce is ~flat, (4) bcast grows and eventually dominates.
+    assert breakdowns[1536].compute < 0.1 * breakdowns[36].compute
+    assert breakdowns[1536].memcpy < 0.2 * breakdowns[36].memcpy
+    assert breakdowns[1536].alltoallv < breakdowns[36].alltoallv
+    assert 0.5 < breakdowns[1536].allreduce / breakdowns[36].allreduce < 2.0
+    assert breakdowns[1536].bcast > 3 * breakdowns[36].bcast
+    assert breakdowns[1536].bcast > breakdowns[1536].compute

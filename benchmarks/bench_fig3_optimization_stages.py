@@ -1,0 +1,32 @@
+"""Fig. 3: wall time of one Fock exchange application at each optimization stage.
+
+The paper's figure compares the CPU baseline (3072 cores) against five
+successive GPU optimizations of Alg. 2 on 72 GPUs; the final version is ~7x
+faster than the CPU run.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.perf import optimization_stage_times
+
+
+def test_fig3_optimization_stages(benchmark, si1536_model, report_writer):
+    stages = benchmark(optimization_stage_times, si1536_model, 72)
+
+    rows = [
+        [s.name, s.compute_time, s.communication_time, s.memcpy_time, s.total]
+        for s in stages
+    ]
+    table = format_table(
+        ["stage", "compute [s]", "visible MPI [s]", "memcpy [s]", "total [s]"], rows
+    )
+    report_writer("fig3_optimization_stages", table)
+
+    cpu, final = stages[0], stages[-1]
+    speedup = cpu.total / final.total
+    # paper: ~7x faster than the 3072-core CPU run
+    assert 5.0 < speedup < 10.0
+    # every stage is at least as fast as the previous GPU stage
+    gpu_totals = [s.total for s in stages[1:]]
+    assert all(b <= a * 1.001 for a, b in zip(gpu_totals, gpu_totals[1:]))

@@ -1,0 +1,44 @@
+"""Fig. 4: the Si-1536 atomic configuration and the 380 nm laser pulse.
+
+Regenerates the paper's simulation setup: the 4x6x8 supercell of the 8-atom
+diamond cell (1536 atoms, 6144 valence electrons, 3072 doubly occupied bands)
+and the 30 fs, 380 nm Gaussian laser pulse, sampled over the full window.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.constants import FEMTOSECOND_TO_AU_TIME, HARTREE_TO_EV
+from repro.pw import paper_laser_pulse, silicon_supercell
+
+
+def test_fig4_structure_and_pulse(benchmark, report_writer):
+    def build():
+        structure = silicon_supercell((4, 6, 8))
+        pulse = paper_laser_pulse(amplitude=0.01, duration_fs=30.0)
+        times = np.linspace(0.0, 30.0 * FEMTOSECOND_TO_AU_TIME, 601)
+        field = pulse.sample(times)
+        return structure, pulse, times, field
+
+    structure, pulse, times, field = benchmark(build)
+
+    rows = [
+        ["atoms", 1536, structure.natoms],
+        ["valence electrons", 6144, structure.n_electrons],
+        ["occupied wavefunctions", 3072, structure.n_occupied_bands()],
+        ["laser wavelength [nm]", 380.0, 380.0],
+        ["photon energy [eV]", 3.26, pulse.omega * HARTREE_TO_EV],
+        ["simulation window [fs]", 30.0, times[-1] / FEMTOSECOND_TO_AU_TIME],
+        ["PT-CN steps in window", 600, len(times) - 1],
+        ["peak field reached", 1.0, float(np.max(np.abs(field)) / pulse.amplitude)],
+    ]
+    table = format_table(["quantity", "paper", "reproduction"], rows)
+    report_writer("fig4_system_setup", table)
+
+    assert structure.natoms == 1536
+    assert structure.n_occupied_bands() == 3072
+    assert pulse.omega * HARTREE_TO_EV == pytest.approx(3.26, abs=0.05)
+    # the pulse rises and decays inside the window
+    assert abs(field[0]) < 0.02 * pulse.amplitude
+    assert abs(field[-1]) < 0.02 * pulse.amplitude

@@ -1,0 +1,47 @@
+"""Fig. 7: strong scaling of the total time and of the individual components."""
+
+import pytest
+
+from repro.analysis import TABLE1, TABLE1_GPU_COUNTS, format_table
+from repro.perf import parallel_efficiency, strong_scaling
+
+
+def test_fig7_strong_scaling(benchmark, report_writer):
+    points = benchmark(strong_scaling, 1536, TABLE1_GPU_COUNTS)
+
+    rows = []
+    for i, p in enumerate(points):
+        rows.append(
+            [
+                p.n_gpus,
+                TABLE1["total_step_time"][i],
+                p.total_step_time,
+                TABLE1["hpsi_total"][i],
+                p.components["hpsi_total"],
+                p.components["residual_total"],
+                p.components["anderson_total"],
+                p.components["others"],
+            ]
+        )
+    table = format_table(
+        [
+            "#GPUs",
+            "paper total [s]",
+            "model total [s]",
+            "paper HPsi [s/SCF]",
+            "model HPsi [s/SCF]",
+            "residual [s/SCF]",
+            "Anderson [s/SCF]",
+            "others [s/SCF]",
+        ],
+        rows,
+    )
+    report_writer("fig7_strong_scaling", table)
+
+    # near-ideal scaling below 384 GPUs, saturation beyond 768 (paper Section 6)
+    efficiency = parallel_efficiency(points)
+    assert efficiency[list(TABLE1_GPU_COUNTS).index(288)] > 0.7
+    assert points[-1].total_step_time > 0.8 * points[-3].total_step_time
+    # speedup over CPU peaks around 34x
+    best = max(p.speedup_vs_cpu for p in points)
+    assert best == pytest.approx(34.0, rel=0.3)

@@ -1,0 +1,32 @@
+"""Fig. 8: weak scaling from 48 to 1536 silicon atoms with GPUs = atoms / 2."""
+
+import pytest
+
+from repro.analysis import PAPER_SCALARS, format_table
+from repro.perf import weak_scaling
+
+
+def test_fig8_weak_scaling(benchmark, report_writer):
+    points = benchmark(weak_scaling)
+
+    rows = [
+        [p.natoms, p.n_gpus, p.time_per_50as, p.ideal_time_per_50as]
+        for p in points
+    ]
+    table = format_table(
+        ["atoms", "#GPUs", "model time per 50 as [s]", "ideal O(N^2) [s]"], rows
+    )
+    report_writer("fig8_weak_scaling", table)
+
+    by_atoms = {p.natoms: p for p in points}
+    # paper quotes ~16 s per 50 as for Si192 on 96 GPUs and ~260 s for Si1536 on 768
+    assert by_atoms[192].time_per_50as == pytest.approx(
+        PAPER_SCALARS["si192_seconds_per_50as_96gpu"], rel=1.0
+    )
+    assert by_atoms[1536].time_per_50as == pytest.approx(
+        PAPER_SCALARS["seconds_per_ptcn_step_768gpu"], rel=0.25
+    )
+    # monotone growth, staying at or below the N^2 line anchored at 48 atoms
+    times = [p.time_per_50as for p in points]
+    assert all(b > a for a, b in zip(times, times[1:]))
+    assert by_atoms[1536].time_per_50as <= by_atoms[1536].ideal_time_per_50as

@@ -1,0 +1,37 @@
+"""Fig. 9: the total time of a single SCF step and the contribution of each part."""
+
+import pytest
+
+from repro.analysis import TABLE1, TABLE1_GPU_COUNTS, format_table
+
+
+def test_fig9_scf_breakdown(benchmark, si1536_model, report_writer):
+    gpu_counts = (36, 72, 144, 288, 768)
+
+    def run():
+        return {n: si1536_model.scf_component_times(n) for n in gpu_counts}
+
+    components = benchmark(run)
+
+    rows = []
+    for n in gpu_counts:
+        c = components[n]
+        rows.append(
+            [n, c.hpsi_total, c.residual_total, c.density_total, c.anderson_total, c.others, c.per_scf_total]
+        )
+    table = format_table(
+        ["#GPUs", "HPsi", "residual", "density", "Anderson", "others", "per-SCF total"], rows
+    )
+    report_writer("fig9_scf_breakdown", table)
+
+    # HPsi dominates everywhere; "others" does not scale and becomes relatively larger
+    for n in gpu_counts:
+        c = components[n]
+        assert c.hpsi_total > 0.5 * c.per_scf_total
+    share_small = components[36].others / components[36].per_scf_total
+    share_large = components[768].others / components[768].per_scf_total
+    assert share_large > 3 * share_small
+    # cross-check the per-SCF totals against Table 1
+    for i, n in enumerate(TABLE1_GPU_COUNTS):
+        if n in components:
+            assert components[n].per_scf_total == pytest.approx(TABLE1["per_scf_total"][i], rel=0.3)

@@ -1,0 +1,43 @@
+"""Section 7 memory analysis: Anderson history and projector storage budgets."""
+
+import pytest
+
+from repro.analysis import PAPER_SCALARS, format_table
+from repro.perf import SiliconWorkload
+
+
+def test_memory_budget(benchmark, report_writer):
+    def run():
+        w = SiliconWorkload.from_atom_count(1536)
+        return {
+            "wavefunction_mb": w.wavefunction_bytes() / 1e6,
+            "wavefunction_mb_single": w.wavefunction_bytes(single_precision=True) / 1e6,
+            "overlap_mb": w.overlap_matrix_bytes() / 1e6,
+            "density_mb": w.density_bytes() / 1e6,
+            "anderson_per_rank_gb_36": w.anderson_memory_per_rank_bytes(36) / 1e9,
+            "node_gb_36": w.host_memory_per_node_bytes(36) / 1e9,
+            "nonlocal_mb": w.nonlocal_projector_bytes() / 1e6,
+            "bcast_volume_per_node_gb": w.n_bands * w.wavefunction_bytes(single_precision=True) / 1e9,
+        }
+
+    values = benchmark(run)
+
+    rows = [
+        ["wavefunction size (double) [MB]", PAPER_SCALARS["wavefunction_mb_double"], values["wavefunction_mb"]],
+        ["wavefunction size (single) [MB]", 5.0, values["wavefunction_mb_single"]],
+        ["overlap matrix [MB]", PAPER_SCALARS["overlap_matrix_mb"], values["overlap_mb"]],
+        ["charge density [MB]", PAPER_SCALARS["density_mb"], values["density_mb"]],
+        ["Anderson history per rank @36 GPUs [GB]", PAPER_SCALARS["anderson_memory_per_rank_gb_36gpu"], values["anderson_per_rank_gb_36"]],
+        ["host memory per node @36 GPUs [GB]", PAPER_SCALARS["host_memory_per_node_gb_36gpu"], values["node_gb_36"]],
+        ["Summit node memory [GB]", PAPER_SCALARS["summit_node_memory_gb"], PAPER_SCALARS["summit_node_memory_gb"]],
+        ["nonlocal projector storage [MB]", PAPER_SCALARS["nonlocal_projector_memory_mb"], values["nonlocal_mb"]],
+        ["Fock bcast receive volume per rank [GB]", PAPER_SCALARS["bcast_volume_per_node_gb"], values["bcast_volume_per_node_gb"]],
+    ]
+    table = format_table(["quantity", "paper", "model"], rows)
+    report_writer("memory_budget", table)
+
+    assert values["wavefunction_mb"] == pytest.approx(10.0, rel=0.05)
+    assert values["anderson_per_rank_gb_36"] < 20.0
+    assert values["node_gb_36"] < PAPER_SCALARS["summit_node_memory_gb"]
+    assert values["nonlocal_mb"] == pytest.approx(432.0, rel=0.1)
+    assert values["bcast_volume_per_node_gb"] == pytest.approx(15.36, rel=0.05)

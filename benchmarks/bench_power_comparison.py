@@ -1,0 +1,44 @@
+"""Section 6 power comparison: 3072 CPU cores (73 nodes) vs 72 GPUs (12 nodes)."""
+
+import pytest
+
+from repro.analysis import CPU_BASELINE_TIME_S, PAPER_SCALARS, format_table
+from repro.machine import PowerReport, compare_runs, cpu_run_power, gpu_run_power, SUMMIT
+
+
+def test_power_comparison(benchmark, si1536_model, report_writer):
+    def run():
+        cpu = PowerReport(
+            label="3072 CPU cores",
+            nodes=SUMMIT.nodes_for_cpu_cores(3072),
+            power_watts=cpu_run_power(3072),
+            wall_time_s=si1536_model.cpu_step_time(3072),
+        )
+        gpu = PowerReport(
+            label="72 GPUs",
+            nodes=SUMMIT.nodes_for_gpus(72),
+            power_watts=gpu_run_power(72),
+            wall_time_s=si1536_model.step_breakdown(72).total_step_time,
+        )
+        return compare_runs(cpu, gpu)
+
+    result = benchmark(run)
+    cpu, gpu = result["cpu"], result["gpu"]
+
+    rows = [
+        ["CPU nodes", PAPER_SCALARS["cpu_nodes_3072_cores"], cpu.nodes],
+        ["CPU power [W]", PAPER_SCALARS["cpu_power_watts"], cpu.power_watts],
+        ["CPU time per step [s]", CPU_BASELINE_TIME_S, cpu.wall_time_s],
+        ["GPU nodes", PAPER_SCALARS["gpu_nodes_72_gpus"], gpu.nodes],
+        ["GPU power [W]", PAPER_SCALARS["gpu_power_watts"], gpu.power_watts],
+        ["GPU time per step [s]", 1269.1, gpu.wall_time_s],
+        ["speedup at ~equal power", PAPER_SCALARS["gpu_vs_cpu_fock_speedup_72gpu"], result["speedup"]],
+        ["energy-to-solution ratio", 7.0, result["energy_ratio"]],
+    ]
+    table = format_table(["quantity", "paper", "model"], rows)
+    report_writer("power_comparison", table)
+
+    assert gpu.power_watts == pytest.approx(PAPER_SCALARS["gpu_power_watts"])
+    assert cpu.power_watts == pytest.approx(PAPER_SCALARS["cpu_power_watts"], rel=0.02)
+    assert result["power_ratio"] == pytest.approx(1.06, rel=0.1)
+    assert result["speedup"] == pytest.approx(7.0, rel=0.2)

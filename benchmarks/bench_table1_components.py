@@ -1,0 +1,44 @@
+"""Table 1: per-component wall-clock times for Si-1536 from 36 to 3072 GPUs."""
+
+import pytest
+
+from repro.analysis import TABLE1, TABLE1_GPU_COUNTS, format_table
+
+
+def test_table1_component_times(benchmark, si1536_model, report_writer):
+    """Regenerate every row of Table 1 and print it next to the paper's values."""
+    model = si1536_model
+
+    def run():
+        return {n: model.step_breakdown(n) for n in TABLE1_GPU_COUNTS}
+
+    breakdowns = benchmark(run)
+
+    rows = []
+    keys = [
+        ("fock_mpi", "Fock exchange operator MPI"),
+        ("fock_compute", "Fock exchange operator computation"),
+        ("fock_total", "Fock exchange operator total"),
+        ("local_semilocal", "Local and semi-local part"),
+        ("hpsi_total", "HPsi total time"),
+        ("residual_total", "Residual related total"),
+        ("anderson_total", "Anderson mixing total"),
+        ("density_total", "Density evaluation total"),
+        ("others", "Others"),
+        ("per_scf_total", "per SCF time"),
+    ]
+    for key, label in keys:
+        for i, n in enumerate(TABLE1_GPU_COUNTS):
+            scf = breakdowns[n].scf_components.as_dict()
+            rows.append([label, n, TABLE1[key][i], scf[key]])
+    for i, n in enumerate(TABLE1_GPU_COUNTS):
+        rows.append(["Total time", n, TABLE1["total_step_time"][i], breakdowns[n].total_step_time])
+        rows.append(["Total speedup", n, TABLE1["speedup"][i], breakdowns[n].speedup])
+        rows.append(["HPsi percentage", n, TABLE1["hpsi_percentage"][i], breakdowns[n].hpsi_percentage])
+
+    table = format_table(["component", "#GPUs", "paper [s]", "model [s]"], rows)
+    report_writer("table1_components", table)
+
+    # sanity on the headline numbers
+    assert breakdowns[768].total_step_time == pytest.approx(260.9, rel=0.25)
+    assert breakdowns[36].scf_components.per_scf_total == pytest.approx(101.36, rel=0.15)

@@ -1,0 +1,26 @@
+"""Table 2: per-step MPI / memory-copy / computation breakdown for Si-1536."""
+
+import pytest
+
+from repro.analysis import TABLE2, TABLE1_GPU_COUNTS, format_table
+
+
+def test_table2_breakdown(benchmark, si1536_model, report_writer):
+    model = si1536_model
+
+    def run():
+        return {n: model.communication_breakdown(n) for n in TABLE1_GPU_COUNTS}
+
+    breakdowns = benchmark(run)
+
+    rows = []
+    for key in ("memcpy", "alltoallv", "allreduce", "bcast", "allgatherv", "mpi_total", "compute"):
+        for i, n in enumerate(TABLE1_GPU_COUNTS):
+            rows.append([key, n, TABLE2[key][i], breakdowns[n].as_dict()[key]])
+    table = format_table(["operation", "#GPUs", "paper [s]", "model [s]"], rows)
+    report_writer("table2_breakdown", table)
+
+    # the qualitative conclusions of the paper's Table 2
+    assert breakdowns[3072].bcast > breakdowns[36].bcast  # bcast grows, becomes the bottleneck
+    assert breakdowns[36].memcpy > breakdowns[3072].memcpy  # memcpy scales down
+    assert breakdowns[36].compute == pytest.approx(TABLE2["compute"][0], rel=0.25)

@@ -1,0 +1,75 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper: it computes the
+model (or measured) values, prints a plain-text table with the paper's numbers
+alongside, writes the same table to ``benchmarks/results/<name>.txt`` and runs
+a representative kernel under ``pytest-benchmark`` so timing data is collected
+by ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.perf import PWDFTPerformanceModel, SiliconWorkload
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    """Directory where benchmarks drop their paper-vs-model tables."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def si1536_model() -> PWDFTPerformanceModel:
+    """The calibrated performance model of the paper's largest system."""
+    return PWDFTPerformanceModel(SiliconWorkload.from_atom_count(1536))
+
+
+def write_report(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Write a benchmark report to disk and echo it to stdout."""
+    path = results_dir / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n[{name}]\n{text}\n(written to {path})")
+
+
+@pytest.fixture(scope="session")
+def report_writer(results_dir):
+    """Callable ``(name, text)`` that persists a benchmark report."""
+
+    def _write(name: str, text: str) -> None:
+        write_report(results_dir, name, text)
+
+    return _write
+
+
+@pytest.fixture(scope="session")
+def small_physics_system():
+    """A tiny hybrid-functional H2 system with a converged ground state.
+
+    Used by the benchmarks that measure the *real* physics engine (PT-CN vs
+    RK4 accuracy and cost), as the laptop-scale stand-in for the paper's
+    silicon supercells.
+    """
+    from repro.pw import (
+        FFTGrid,
+        GroundStateSolver,
+        Hamiltonian,
+        PlaneWaveBasis,
+        choose_grid_shape,
+        hydrogen_molecule,
+    )
+
+    structure = hydrogen_molecule(box=10.0, bond_length=1.4)
+    ecut = 3.0
+    grid = FFTGrid(structure.cell, choose_grid_shape(structure.cell, ecut, factor=1.0))
+    basis = PlaneWaveBasis(grid, ecut)
+    ham = Hamiltonian(basis, structure, hybrid_mixing=0.25, screening_length=None)
+    result = GroundStateSolver(ham, scf_tolerance=1e-7, max_scf_iterations=50).solve()
+    return structure, basis, ham, result.wavefunction

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""PT-CN vs RK4: the paper's central algorithmic comparison, measured.
+
+Propagates the same hybrid-functional system over the same time window with
+(a) the explicit RK4 integrator at a small stable step and (b) the PT-CN
+integrator at a 20x larger step, then compares the gauge-invariant observables
+(density, dipole, energy) and the number of Fock exchange applications — the
+quantity that dominates the cost of hybrid-functional rt-TDDFT (Section 1 of
+the paper).
+
+Usage:
+    python examples/pt_vs_rk4.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import attoseconds_to_au
+from repro.core import PTCNPropagator, RK4Propagator, TDDFTSimulation
+from repro.core.observables import dipole_moment
+from repro.pw import (
+    FFTGrid,
+    GaussianLaserPulse,
+    GroundStateSolver,
+    Hamiltonian,
+    PlaneWaveBasis,
+    choose_grid_shape,
+    compute_density,
+    hydrogen_chain,
+)
+
+
+def build_hamiltonian():
+    structure = hydrogen_chain(n_atoms=4, spacing=2.0, box=7.0)
+    ecut = 2.5
+    grid = FFTGrid(structure.cell, choose_grid_shape(structure.cell, ecut, factor=1.0))
+    basis = PlaneWaveBasis(grid, ecut)
+    pulse = GaussianLaserPulse(
+        amplitude=0.01,
+        omega=0.3,
+        t0=attoseconds_to_au(60.0),
+        sigma=attoseconds_to_au(30.0),
+        polarization=[1, 0, 0],
+        phase=np.pi / 2,
+    )
+    ham = Hamiltonian(
+        basis, structure, hybrid_mixing=0.25, screening_length=None,
+        external_field=pulse.potential_factory(grid),
+    )
+    return structure, basis, ham
+
+
+def main() -> None:
+    structure, basis, ham = build_hamiltonian()
+    print(f"System: {structure.name}, {structure.n_occupied_bands()} occupied bands, {basis.npw} plane waves")
+    gs = GroundStateSolver(ham, scf_tolerance=1e-7).solve()
+    print(f"Hybrid ground state energy: {gs.total_energy:.6f} Ha (converged={gs.converged})")
+
+    window_as = 60.0
+    runs = {}
+
+    rk4 = RK4Propagator(ham)
+    sim = TDDFTSimulation(ham, rk4)
+    dt_rk = attoseconds_to_au(1.0)
+    runs["RK4 @ 1 as"] = sim.run(gs.wavefunction, dt_rk, int(window_as / 1.0))
+
+    ptcn = PTCNPropagator(ham, scf_tolerance=1e-7, max_scf_iterations=40)
+    sim = TDDFTSimulation(ham, ptcn)
+    dt_pt = attoseconds_to_au(20.0)
+    runs["PT-CN @ 20 as"] = sim.run(gs.wavefunction, dt_pt, int(window_as / 20.0))
+
+    reference = runs["RK4 @ 1 as"]
+    rho_ref = compute_density(reference.final_wavefunction)
+
+    print(f"\nPropagating {window_as:.0f} as of laser-driven dynamics:\n")
+    print(f"{'integrator':<16} {'steps':>6} {'Fock applies':>13} {'wall [s]':>9} "
+          f"{'energy drift':>13} {'max density diff':>17}")
+    for name, traj in runs.items():
+        rho = compute_density(traj.final_wavefunction)
+        diff = np.max(np.abs(rho - rho_ref)) / np.max(np.abs(rho_ref))
+        print(
+            f"{name:<16} {traj.n_steps:>6d} {traj.total_hamiltonian_applications:>13d} "
+            f"{traj.wall_time:>9.2f} {traj.energy_drift:>13.2e} {diff:>17.2e}"
+        )
+
+    d_ref = dipole_moment(reference.final_wavefunction)
+    d_pt = dipole_moment(runs["PT-CN @ 20 as"].final_wavefunction)
+    print(f"\nFinal dipole (RK4)  : {d_ref}")
+    print(f"Final dipole (PT-CN): {d_pt}")
+    ratio = (
+        runs["RK4 @ 1 as"].total_hamiltonian_applications
+        / runs["PT-CN @ 20 as"].total_hamiltonian_applications
+    )
+    print(
+        f"\nPT-CN reached the same physics with {ratio:.1f}x fewer Fock exchange applications."
+        "\n(The paper reports 20-30x for silicon at a 50 as step vs RK4 at 0.5 as, Fig. 6.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Quickstart: hybrid-functional rt-TDDFT with the parallel transport gauge.
+
+Builds an H2 molecule in a box, converges its hybrid-functional (25 % exact
+exchange) ground state, then drives it with a weak laser pulse using the PT-CN
+propagator at a 50 attosecond time step — the step size the paper uses for its
+1536-atom silicon runs. Runs in well under a minute on a laptop.
+
+Usage:
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import attoseconds_to_au, au_to_attoseconds
+from repro.core import PTCNPropagator, TDDFTSimulation
+from repro.pw import (
+    FFTGrid,
+    GaussianLaserPulse,
+    GroundStateSolver,
+    Hamiltonian,
+    PlaneWaveBasis,
+    choose_grid_shape,
+    hydrogen_molecule,
+)
+
+
+def main() -> None:
+    # 1. Structure and plane-wave basis ------------------------------------
+    structure = hydrogen_molecule(box=10.0, bond_length=1.4)
+    ecut = 3.0  # Hartree; tiny, this is a demonstration system
+    grid = FFTGrid(structure.cell, choose_grid_shape(structure.cell, ecut, factor=1.0))
+    basis = PlaneWaveBasis(grid, ecut)
+    print(f"System: {structure.name}, {basis.npw} plane waves, grid {grid.shape}")
+
+    # 2. Laser pulse (length gauge, polarised along the bond) ---------------
+    pulse = GaussianLaserPulse(
+        amplitude=0.005, omega=0.35, t0=attoseconds_to_au(150.0), sigma=attoseconds_to_au(60.0),
+        polarization=[1.0, 0.0, 0.0],
+    )
+
+    # 3. Hybrid-functional Hamiltonian and ground state ---------------------
+    hamiltonian = Hamiltonian(
+        basis,
+        structure,
+        hybrid_mixing=0.25,            # PBE0/HSE-style fraction of exact exchange
+        screening_length=None,          # bare Fock exchange kernel
+        external_field=pulse.potential_factory(grid),
+    )
+    ground_state = GroundStateSolver(hamiltonian, scf_tolerance=1e-7).solve()
+    print(
+        f"Ground state: E = {ground_state.total_energy:.6f} Ha, "
+        f"converged={ground_state.converged} in {ground_state.scf_iterations} SCF iterations"
+    )
+
+    # 4. PT-CN propagation at a 50 as step ----------------------------------
+    propagator = PTCNPropagator(hamiltonian, scf_tolerance=1e-6, max_scf_iterations=30)
+    simulation = TDDFTSimulation(hamiltonian, propagator)
+    dt = attoseconds_to_au(50.0)
+    trajectory = simulation.run(ground_state.wavefunction, dt, n_steps=8)
+
+    print("\n  t [as]   energy [Ha]     dipole_x [a.u.]   SCF its   Fock applications")
+    for i, t in enumerate(trajectory.times):
+        print(
+            f"  {au_to_attoseconds(t):7.1f}  {trajectory.energies[i]:+.8f}   "
+            f"{trajectory.dipoles[i, 0]:+.6f}        {trajectory.scf_iterations[i]:3d}       "
+            f"{trajectory.hamiltonian_applications[i]:3d}"
+        )
+
+    print(
+        f"\nEnergy drift over the run: {trajectory.energy_drift:.2e} Ha; "
+        f"electron number {trajectory.electron_numbers[-1]:.10f}; "
+        f"average SCF iterations per step {trajectory.average_scf_iterations:.1f} "
+        f"(paper reports ~22 for silicon at the same step size)."
+    )
+
+
+if __name__ == "__main__":
+    main()

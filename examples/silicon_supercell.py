@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Silicon supercell setup and a laser-driven PT-CN run on a small Si cell.
+
+The paper's production systems (48-1536 silicon atoms at a 10 Ha cutoff) do
+not fit a laptop, but the identical code path runs on the 8-atom diamond cell
+at a reduced cutoff: build the cell with the paper's 5.43 Angstrom lattice
+constant and the 380 nm pulse, converge a semi-local ground state, and take a
+few PT-CN steps with screened hybrid exchange switched on for the propagation.
+
+Usage:
+    python examples/silicon_supercell.py          # 8-atom cell, a few minutes
+    python examples/silicon_supercell.py --fast   # local-only EPM silicon, seconds
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.constants import attoseconds_to_au
+from repro.core import PTCNPropagator, TDDFTSimulation
+from repro.pw import (
+    FFTGrid,
+    GroundStateSolver,
+    Hamiltonian,
+    PlaneWaveBasis,
+    choose_grid_shape,
+    diamond_silicon,
+    paper_laser_pulse,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true", help="use the local-only empirical pseudopotential")
+    parser.add_argument("--ecut", type=float, default=2.5, help="kinetic energy cutoff in Hartree")
+    parser.add_argument("--steps", type=int, default=3, help="number of 50 as PT-CN steps")
+    args = parser.parse_args()
+
+    structure = diamond_silicon(empirical=args.fast, include_nonlocal=not args.fast)
+    grid = FFTGrid(structure.cell, choose_grid_shape(structure.cell, args.ecut, factor=1.0))
+    basis = PlaneWaveBasis(grid, args.ecut)
+    nbands = structure.n_occupied_bands()
+    print(
+        f"{structure.name}: {structure.natoms} atoms, {structure.n_electrons:.0f} valence electrons, "
+        f"{nbands} occupied bands, {basis.npw} plane waves (grid {grid.shape})"
+    )
+
+    # semi-local ground state (cheap), as the starting point
+    lda = Hamiltonian(basis, structure, hybrid_mixing=0.0)
+    gs = GroundStateSolver(lda, scf_tolerance=1e-5, max_scf_iterations=40).solve()
+    gap_proxy = gs.eigenvalues[-1] - gs.eigenvalues[0]
+    print(f"Ground state: E = {gs.total_energy:.4f} Ha, occupied bandwidth {gap_proxy:.3f} Ha, "
+          f"converged={gs.converged}")
+
+    # the paper's 380 nm pulse, scaled to a weak amplitude
+    pulse = paper_laser_pulse(amplitude=0.002, duration_fs=float(args.steps) * 0.05 * 4)
+    hybrid = Hamiltonian(
+        basis,
+        structure,
+        hybrid_mixing=0.25,
+        screening_length=0.106,  # HSE06 screening parameter (Bohr^-1)
+        external_field=pulse.potential_factory(grid),
+        include_nonlocal=not args.fast,
+    )
+
+    propagator = PTCNPropagator(hybrid, scf_tolerance=1e-5, max_scf_iterations=25)
+    simulation = TDDFTSimulation(hybrid, propagator, record_energy=True)
+    dt = attoseconds_to_au(50.0)
+    print(f"\nRunning {args.steps} PT-CN steps of 50 as with screened hybrid exchange ...")
+    trajectory = simulation.run(gs.wavefunction, dt, args.steps)
+
+    for i in range(len(trajectory.times)):
+        print(
+            f"  step {i}: E = {trajectory.energies[i]:+.6f} Ha, "
+            f"N_e = {trajectory.electron_numbers[i]:.8f}, "
+            f"SCF iterations = {trajectory.scf_iterations[i]}"
+        )
+    print(
+        f"\nTotal Fock exchange applications: {trajectory.total_hamiltonian_applications} "
+        f"({trajectory.average_scf_iterations:.1f} SCF/step; the paper's silicon runs average 22)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The project metadata lives in ``pyproject.toml``; this shim exists so that
+editable installs work on environments whose setuptools lacks PEP 660 support
+(``pip install -e . --no-use-pep517`` or ``python setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,27 @@
+"""repro — reproduction of "Parallel Transport Time-Dependent Density Functional
+Theory Calculations with Hybrid Functional on Summit" (Jia, Wang, Lin; SC 2019).
+
+The package is organised in five layers:
+
+* :mod:`repro.pw` — a from-scratch plane-wave DFT/TDDFT engine (the PWDFT
+  analogue): grids, pseudopotentials, Hartree/XC, screened Fock exchange,
+  ground-state SCF.
+* :mod:`repro.core` — the paper's contribution: the parallel transport gauge
+  rt-TDDFT propagators (PT-CN) and the explicit baselines (RK4, CN), Anderson
+  mixing, observables, and the simulation driver.
+* :mod:`repro.parallel` — a simulated distributed-memory runtime: virtual MPI
+  ranks, band-index/G-space wavefunction decompositions, the distributed Fock
+  exchange (Alg. 2) and residual (Alg. 3) kernels with communication-volume
+  accounting.
+* :mod:`repro.machine` — a parameterised model of the Summit supercomputer
+  (V100 roofline, NVLink/NIC bandwidths, fat-tree collectives, power).
+* :mod:`repro.perf` — the PWDFT-at-scale performance model that regenerates the
+  paper's tables and figures (strong/weak scaling, component breakdowns,
+  optimization stages, PT-CN vs RK4 time-to-solution).
+"""
+
+from . import constants
+
+__version__ = "1.0.0"
+
+__all__ = ["constants", "__version__"]

@@ -1,0 +1,35 @@
+"""Reporting utilities and reference data digitised from the paper."""
+
+from .paper_data import (
+    CPU_BASELINE_CORES,
+    CPU_BASELINE_TIME_S,
+    FIG6_GPU_COUNTS,
+    PAPER_SCALARS,
+    TABLE1,
+    TABLE1_GPU_COUNTS,
+    TABLE2,
+    WEAK_SCALING_ATOMS,
+)
+from .reporting import (
+    ComparisonRow,
+    Timer,
+    compare_series,
+    format_table,
+    geometric_mean_ratio,
+)
+
+__all__ = [
+    "CPU_BASELINE_CORES",
+    "CPU_BASELINE_TIME_S",
+    "FIG6_GPU_COUNTS",
+    "PAPER_SCALARS",
+    "TABLE1",
+    "TABLE1_GPU_COUNTS",
+    "TABLE2",
+    "WEAK_SCALING_ATOMS",
+    "ComparisonRow",
+    "Timer",
+    "compare_series",
+    "format_table",
+    "geometric_mean_ratio",
+]

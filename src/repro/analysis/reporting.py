@@ -1,0 +1,94 @@
+"""Table formatting and paper-vs-model comparison helpers.
+
+The benchmarks print plain-text tables with a "paper" column next to the
+"model"/"measured" column; these helpers keep that formatting consistent and
+compute the relative deviations recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["format_table", "ComparisonRow", "compare_series", "geometric_mean_ratio", "Timer"]
+
+
+def format_table(headers: list[str], rows: list[list], float_format: str = "{:.3g}") -> str:
+    """Render a list of rows as an aligned plain-text table."""
+    formatted_rows = []
+    for row in rows:
+        formatted = []
+        for value in row:
+            if isinstance(value, (float, np.floating)):
+                formatted.append(float_format.format(value))
+            else:
+                formatted.append(str(value))
+        formatted_rows.append(formatted)
+    widths = [len(h) for h in headers]
+    for row in formatted_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in formatted_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+@dataclass
+class ComparisonRow:
+    """One paper-vs-model comparison entry."""
+
+    label: str
+    paper: float
+    model: float
+
+    @property
+    def ratio(self) -> float:
+        """Model / paper ratio (1.0 is a perfect match)."""
+        if self.paper == 0:
+            return float("nan")
+        return self.model / self.paper
+
+    @property
+    def relative_error(self) -> float:
+        """``|model - paper| / |paper|``."""
+        if self.paper == 0:
+            return float("nan")
+        return abs(self.model - self.paper) / abs(self.paper)
+
+
+def compare_series(labels: list, paper: list[float], model: list[float]) -> list[ComparisonRow]:
+    """Pair up a paper series and a model series into comparison rows."""
+    if not (len(labels) == len(paper) == len(model)):
+        raise ValueError("labels, paper and model must have equal lengths")
+    return [ComparisonRow(str(l), float(p), float(m)) for l, p, m in zip(labels, paper, model)]
+
+
+def geometric_mean_ratio(rows: list[ComparisonRow]) -> float:
+    """Geometric mean of the model/paper ratios (overall bias of a series)."""
+    ratios = [r.ratio for r in rows if np.isfinite(r.ratio) and r.ratio > 0]
+    if not ratios:
+        return float("nan")
+    return float(np.exp(np.mean(np.log(ratios))))
+
+
+class Timer:
+    """Minimal wall-clock timer used by examples and benchmarks."""
+
+    def __init__(self):
+        import time
+
+        self._time = time.perf_counter
+        self._start = None
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = self._time()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = self._time() - self._start

@@ -1,0 +1,147 @@
+"""Anderson mixing for wavefunction fixed-point problems (Alg. 1, line 7).
+
+The PT-CN scheme solves a nonlinear fixed-point equation for the new orbitals
+at every time step. The paper accelerates that iteration with Anderson mixing
+[D. G. Anderson, J. ACM 12 (1965) 547] applied *per wavefunction*, with a
+maximum mixing dimension of 20 — which is also why up to 20 copies of the
+wavefunctions must be stored (Section 7's memory analysis, 512 GB Summit nodes).
+
+The implementation below is the standard "type-II" Anderson/Pulay update:
+given a history of iterates ``x_k`` and their residuals ``f_k``, minimise the
+linear combination of residual differences and extrapolate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["AndersonMixer"]
+
+
+class AndersonMixer:
+    """Anderson (Pulay/DIIS-type) mixer for complex arrays.
+
+    Parameters
+    ----------
+    history_size:
+        Maximum number of stored previous iterates (the paper uses 20).
+    mixing_parameter:
+        The relaxation parameter ``beta`` applied to the residual
+        (1.0 reproduces the classic Anderson update; smaller values damp).
+    per_band:
+        If True (paper behaviour), solve an independent least-squares problem
+        for each row (band) of the iterate; if False, treat the whole array as
+        one vector.
+    regularization:
+        Tikhonov regularisation added to the normal equations for numerical
+        robustness when residual differences become nearly linearly dependent.
+    """
+
+    def __init__(
+        self,
+        history_size: int = 20,
+        mixing_parameter: float = 1.0,
+        per_band: bool = True,
+        regularization: float = 1e-12,
+    ):
+        if history_size < 1:
+            raise ValueError("history_size must be >= 1")
+        if not 0.0 < mixing_parameter <= 1.0:
+            raise ValueError("mixing_parameter must be in (0, 1]")
+        self.history_size = int(history_size)
+        self.mixing_parameter = float(mixing_parameter)
+        self.per_band = bool(per_band)
+        self.regularization = float(regularization)
+        self._iterates: list[np.ndarray] = []
+        self._residuals: list[np.ndarray] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def history_length(self) -> int:
+        """Number of (iterate, residual) pairs currently stored."""
+        return len(self._iterates)
+
+    @property
+    def memory_copies(self) -> int:
+        """Number of wavefunction-sized arrays held (iterates + residuals).
+
+        This is the quantity behind the paper's memory-budget discussion: the
+        Anderson history is by far the largest consumer of host memory.
+        """
+        return len(self._iterates) + len(self._residuals)
+
+    def reset(self) -> None:
+        """Drop all history (called at the start of every PT-CN time step)."""
+        self._iterates.clear()
+        self._residuals.clear()
+
+    # ------------------------------------------------------------------
+    def update(self, iterate: np.ndarray, residual: np.ndarray) -> np.ndarray:
+        """Produce the next iterate from the current iterate and residual.
+
+        Parameters
+        ----------
+        iterate:
+            Current iterate ``x_k`` (any shape; for wavefunctions
+            ``(nbands, npw)``).
+        residual:
+            Residual ``f_k`` of the fixed-point problem at ``x_k``; the mixer
+            drives ``f`` towards zero. Same shape as ``iterate``.
+
+        Returns
+        -------
+        ndarray
+            The mixed next iterate, same shape as the input.
+        """
+        iterate = np.asarray(iterate, dtype=np.complex128)
+        residual = np.asarray(residual, dtype=np.complex128)
+        if iterate.shape != residual.shape:
+            raise ValueError("iterate and residual must have the same shape")
+
+        self._iterates.append(iterate.copy())
+        self._residuals.append(residual.copy())
+        if len(self._iterates) > self.history_size:
+            self._iterates.pop(0)
+            self._residuals.pop(0)
+
+        m = len(self._iterates)
+        beta = self.mixing_parameter
+        if m == 1:
+            return iterate - beta * residual
+
+        if self.per_band and iterate.ndim >= 2:
+            out = np.empty_like(iterate)
+            nbands = iterate.shape[0]
+            for band in range(nbands):
+                x_hist = [x[band].ravel() for x in self._iterates]
+                f_hist = [f[band].ravel() for f in self._residuals]
+                out[band] = self._extrapolate(x_hist, f_hist).reshape(iterate.shape[1:])
+            return out
+
+        x_hist = [x.ravel() for x in self._iterates]
+        f_hist = [f.ravel() for f in self._residuals]
+        return self._extrapolate(x_hist, f_hist).reshape(iterate.shape)
+
+    # ------------------------------------------------------------------
+    def _extrapolate(self, x_hist: list[np.ndarray], f_hist: list[np.ndarray]) -> np.ndarray:
+        """Type-II Anderson extrapolation for one flattened vector."""
+        beta = self.mixing_parameter
+        x_k = x_hist[-1]
+        f_k = f_hist[-1]
+        m = len(x_hist)
+        # residual and iterate difference matrices, columns k = 0..m-2
+        df = np.stack([f_hist[j + 1] - f_hist[j] for j in range(m - 1)], axis=1)
+        dx = np.stack([x_hist[j + 1] - x_hist[j] for j in range(m - 1)], axis=1)
+        # solve min_gamma || f_k - dF gamma ||  via regularised normal equations
+        gram = df.conj().T @ df
+        gram += self.regularization * np.eye(gram.shape[0]) * max(
+            1.0, float(np.max(np.abs(gram)))
+        )
+        rhs = df.conj().T @ f_k
+        try:
+            gamma = np.linalg.solve(gram, rhs)
+        except np.linalg.LinAlgError:  # pragma: no cover - defensive
+            gamma = np.linalg.lstsq(df, f_k, rcond=None)[0]
+        x_bar = x_k - dx @ gamma
+        f_bar = f_k - df @ gamma
+        return x_bar - beta * f_bar

@@ -1,0 +1,164 @@
+"""The parallel transport Crank–Nicolson propagator (Alg. 1 of the paper).
+
+PT-CN solves, at each step, the implicit nonlinear equation (Eq. 5)
+
+.. math::
+
+    \\Psi_{n+1} + \\tfrac{i\\Delta t}{2}\\{H_{n+1}\\Psi_{n+1}
+        - \\Psi_{n+1}(\\Psi_{n+1}^* H_{n+1} \\Psi_{n+1})\\}
+    = \\Psi_n - \\tfrac{i\\Delta t}{2}\\{H_n\\Psi_n - \\Psi_n(\\Psi_n^* H_n \\Psi_n)\\},
+
+where the right-hand side (``Psi_{n+1/2}``) is fixed during the step and the
+left-hand side is solved by a self-consistent fixed-point iteration accelerated
+with Anderson mixing. Because the parallel transport gauge makes the orbital
+dynamics as slow as the density dynamics, time steps of 10–50 attoseconds are
+possible, versus ~0.5 as for RK4 — and every saved step saves one or more Fock
+exchange applications, the dominant cost for hybrid functionals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...pw.basis import Wavefunction
+from ...pw.density import compute_density, density_error
+from ...pw.hamiltonian import Hamiltonian
+from ...pw.orthogonalization import cholesky_orthonormalize, orthonormality_error
+from ..anderson import AndersonMixer
+from ..gauge import pt_residual
+from .base import Propagator, StepStatistics
+
+__all__ = ["PTCNPropagator"]
+
+
+class PTCNPropagator(Propagator):
+    """Parallel transport + Crank–Nicolson implicit propagator (PT-CN).
+
+    Parameters
+    ----------
+    hamiltonian:
+        The Kohn–Sham Hamiltonian (hybrid or semi-local).
+    scf_tolerance:
+        Convergence threshold on the relative density change between SCF
+        iterations (the paper uses 1e-6).
+    max_scf_iterations:
+        Safety bound on the inner iteration count (the paper reports ~22
+        iterations on average at 50 as steps).
+    anderson_history:
+        Maximum Anderson mixing dimension (paper: 20).
+    anderson_beta:
+        Anderson relaxation parameter.
+    orthogonalize:
+        Whether to re-orthonormalize the orbitals at the end of each step
+        (Alg. 1 line 11). Disabling is only useful for diagnostics.
+    parallel_transport:
+        If True (default) the projection term ``Psi (Psi^* H Psi)`` is
+        included, i.e. the dynamics use the PT gauge; if False the scheme
+        degenerates to the plain Crank–Nicolson fixed-point iteration in the
+        Schrödinger gauge (used for ablation studies).
+    """
+
+    name = "PT-CN"
+    implicit = True
+
+    def __init__(
+        self,
+        hamiltonian: Hamiltonian,
+        scf_tolerance: float = 1e-6,
+        max_scf_iterations: int = 30,
+        anderson_history: int = 20,
+        anderson_beta: float = 1.0,
+        orthogonalize: bool = True,
+        parallel_transport: bool = True,
+    ):
+        super().__init__(hamiltonian)
+        if scf_tolerance <= 0:
+            raise ValueError("scf_tolerance must be positive")
+        self.scf_tolerance = float(scf_tolerance)
+        self.max_scf_iterations = int(max_scf_iterations)
+        self.anderson_history = int(anderson_history)
+        self.anderson_beta = float(anderson_beta)
+        self.orthogonalize = bool(orthogonalize)
+        self.parallel_transport = bool(parallel_transport)
+
+    # ------------------------------------------------------------------
+    def _rhs_term(self, coefficients: np.ndarray, h_coefficients: np.ndarray) -> np.ndarray:
+        """``H Psi - Psi (Psi^* H Psi)`` in the PT gauge, ``H Psi`` otherwise."""
+        if self.parallel_transport:
+            return pt_residual(coefficients, h_coefficients)
+        return h_coefficients
+
+    def step(self, wavefunction: Wavefunction, time: float, dt: float) -> tuple[Wavefunction, StepStatistics]:
+        """One PT-CN step (Alg. 1)."""
+        ham = self.hamiltonian
+        basis = wavefunction.basis
+        occ = wavefunction.occupations
+        c_n = wavefunction.coefficients
+
+        # Line 1: initial residual R_n with the Hamiltonian at time t_n,
+        # consistent with the current orbitals.
+        ham.set_time(time)
+        ham.update_potential(wavefunction)
+        h_cn = ham.apply(c_n)
+        r_n = self._rhs_term(c_n, h_cn)
+
+        # Line 2: the fixed right-hand side Psi_{n+1/2}
+        c_half = c_n - 0.5j * dt * r_n
+        c_f = c_half.copy()
+
+        # Line 3: density of the initial iterate; the Hamiltonian at t_{n+1}
+        ham.set_time(time + dt)
+        wf_f = Wavefunction(basis, c_f, occ)
+        rho_f = compute_density(wf_f, ham.grid)
+
+        mixer = AndersonMixer(
+            history_size=self.anderson_history,
+            mixing_parameter=self.anderson_beta,
+            per_band=True,
+        )
+
+        err = float("inf")
+        iterations = 0
+        h_applications = 1  # the R_n evaluation above
+        converged = False
+        for iterations in range(1, self.max_scf_iterations + 1):
+            # Line 5: update potential and Hamiltonian from the current iterate
+            wf_f = Wavefunction(basis, c_f, occ)
+            ham.update_potential(wf_f, density=rho_f)
+
+            # Line 6: fixed point residual
+            h_cf = ham.apply(c_f)
+            h_applications += 1
+            r_f = c_f + 0.5j * dt * self._rhs_term(c_f, h_cf) - c_half
+
+            # Line 7: Anderson mixing
+            c_f = mixer.update(c_f, r_f)
+
+            # Line 8: density of the new iterate
+            wf_f = Wavefunction(basis, c_f, occ)
+            rho_new = compute_density(wf_f, ham.grid)
+
+            # Line 9: convergence on the density change
+            err = density_error(rho_new, rho_f, ham.grid)
+            rho_f = rho_new
+            if err < self.scf_tolerance:
+                converged = True
+                break
+
+        # Line 11: orthogonalize
+        wf_f = Wavefunction(basis, c_f, occ)
+        ortho_err = orthonormality_error(wf_f)
+        if self.orthogonalize:
+            wf_f = cholesky_orthonormalize(wf_f)
+
+        # leave the Hamiltonian consistent with the accepted state
+        ham.update_potential(wf_f)
+
+        stats = StepStatistics(
+            scf_iterations=iterations,
+            hamiltonian_applications=h_applications,
+            density_error=err,
+            converged=converged,
+            orthogonality_error=ortho_err,
+        )
+        return wf_f, stats

@@ -1,0 +1,82 @@
+"""Explicit 4th-order Runge–Kutta propagator (the paper's baseline).
+
+RK4 integrates the Schrödinger-gauge equation ``i dPsi/dt = H(t, P) Psi``
+directly. Because the orbitals oscillate with phases ``exp(-i eps_i t)`` the
+stable/accurate time step is bounded by the largest eigenvalue of ``H`` — for
+the paper's 10 Ha cutoff this is ~0.5 attoseconds, i.e. 100x smaller than the
+PT-CN step. Each RK4 step costs four Hamiltonian applications (hence four Fock
+exchange applications) and four potential updates, which is what Fig. 6 of the
+paper compares against PT-CN.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...pw.basis import Wavefunction
+from ...pw.density import compute_density
+from ...pw.hamiltonian import Hamiltonian
+from .base import Propagator, StepStatistics
+
+__all__ = ["RK4Propagator"]
+
+
+class RK4Propagator(Propagator):
+    """Classical explicit RK4 for the nonlinear TDDFT equations.
+
+    Parameters
+    ----------
+    hamiltonian:
+        The Kohn–Sham Hamiltonian.
+    self_consistent_stages:
+        If True (default), the Hamiltonian potential is rebuilt from the
+        intermediate stage wavefunctions (the standard nonlinear RK4); if
+        False, the potential is frozen over the step (a cheaper linearised
+        variant that is useful for tests against the linear Schrödinger
+        equation).
+    """
+
+    name = "RK4"
+    implicit = False
+
+    def __init__(self, hamiltonian: Hamiltonian, self_consistent_stages: bool = True):
+        super().__init__(hamiltonian)
+        self.self_consistent_stages = bool(self_consistent_stages)
+
+    # ------------------------------------------------------------------
+    def _time_derivative(self, coefficients: np.ndarray, occupations: np.ndarray, time: float) -> np.ndarray:
+        """``dPsi/dt = -i H(t, Psi) Psi`` for a coefficient block."""
+        ham = self.hamiltonian
+        ham.set_time(time)
+        if self.self_consistent_stages:
+            stage_wf = Wavefunction(ham.basis, coefficients, occupations)
+            ham.update_potential(stage_wf)
+        return -1j * ham.apply(coefficients)
+
+    def step(self, wavefunction: Wavefunction, time: float, dt: float) -> tuple[Wavefunction, StepStatistics]:
+        """One RK4 step of size ``dt`` starting at ``time``."""
+        c0 = wavefunction.coefficients
+        occ = wavefunction.occupations
+
+        k1 = self._time_derivative(c0, occ, time)
+        k2 = self._time_derivative(c0 + 0.5 * dt * k1, occ, time + 0.5 * dt)
+        k3 = self._time_derivative(c0 + 0.5 * dt * k2, occ, time + 0.5 * dt)
+        k4 = self._time_derivative(c0 + dt * k3, occ, time + dt)
+
+        c_new = c0 + (dt / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
+        new_wf = Wavefunction(wavefunction.basis, c_new, occ)
+
+        # leave the Hamiltonian consistent with the end-of-step state
+        self.hamiltonian.set_time(time + dt)
+        self.hamiltonian.update_potential(new_wf)
+
+        overlap = new_wf.overlap()
+        ortho_err = float(np.max(np.abs(overlap - np.eye(new_wf.nbands))))
+        stats = StepStatistics(
+            scf_iterations=0,
+            hamiltonian_applications=4,
+            density_error=float("nan"),
+            converged=True,
+            orthogonality_error=ortho_err,
+        )
+        return new_wf, stats

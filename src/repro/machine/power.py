@@ -1,0 +1,67 @@
+"""Power and energy-to-solution accounting (Section 6 of the paper).
+
+The paper's power comparison: 3072 CPU cores occupy 73 nodes at 380 W each
+(27 740 W) while 72 GPUs occupy 12 nodes at 2180 W each (26 160 W) — slightly
+less power for a 7x faster time to solution, i.e. ~7x better energy to
+solution. These helpers reproduce that arithmetic for any configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .summit import SummitSystem, SUMMIT
+
+__all__ = ["PowerReport", "cpu_run_power", "gpu_run_power", "energy_to_solution", "compare_runs"]
+
+
+@dataclass(frozen=True)
+class PowerReport:
+    """Power and energy summary of one run configuration."""
+
+    label: str
+    nodes: int
+    power_watts: float
+    wall_time_s: float
+
+    @property
+    def energy_joules(self) -> float:
+        """Energy to solution in Joules."""
+        return self.power_watts * self.wall_time_s
+
+    @property
+    def energy_kwh(self) -> float:
+        """Energy to solution in kWh."""
+        return self.energy_joules / 3.6e6
+
+
+def cpu_run_power(n_cores: int, system: SummitSystem = SUMMIT) -> float:
+    """Total power (W) of a CPU-only run using ``n_cores`` cores."""
+    return system.cpu_run_power_watts(n_cores)
+
+
+def gpu_run_power(n_gpus: int, system: SummitSystem = SUMMIT) -> float:
+    """Total power (W) of a GPU run using ``n_gpus`` GPUs (whole nodes)."""
+    return system.gpu_run_power_watts(n_gpus)
+
+
+def energy_to_solution(power_watts: float, wall_time_s: float) -> float:
+    """Energy in Joules."""
+    if power_watts < 0 or wall_time_s < 0:
+        raise ValueError("power and wall time must be non-negative")
+    return power_watts * wall_time_s
+
+
+def compare_runs(cpu: PowerReport, gpu: PowerReport) -> dict:
+    """Head-to-head comparison used by the power benchmark.
+
+    Returns speedup, power ratio and energy ratio (CPU / GPU; > 1 means the
+    GPU run wins).
+    """
+    return {
+        "speedup": cpu.wall_time_s / gpu.wall_time_s,
+        "power_ratio": cpu.power_watts / gpu.power_watts,
+        "energy_ratio": cpu.energy_joules / gpu.energy_joules,
+        "cpu": cpu,
+        "gpu": gpu,
+    }

@@ -1,0 +1,44 @@
+"""Distributed end-of-step orthogonalization (Section 3.4 of the paper).
+
+The overlap matrix ``Psi^* Psi`` is assembled in the G-space distribution
+(``MPI_Alltoallv`` + local GEMM + ``MPI_Allreduce``), the Cholesky factor is
+computed redundantly on every rank (the paper computes it on a single GPU with
+cuSOLVER — the matrix is only ``N_e x N_e``), and the triangular solve/rotation
+is applied locally to each rank's G-slice before transposing back to the
+band-index layout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg as sla
+
+from .distributed_wavefunction import DistributedWavefunction
+
+__all__ = ["distributed_cholesky_orthonormalize"]
+
+
+def distributed_cholesky_orthonormalize(
+    wavefunction: DistributedWavefunction,
+) -> DistributedWavefunction:
+    """Cholesky orthonormalization of a band-distributed wavefunction set.
+
+    Mirrors :func:`repro.pw.orthogonalization.cholesky_orthonormalize` but with
+    the paper's distributed data flow; tests verify the two agree to rounding.
+    """
+    comm = wavefunction.comm
+    psi_g = wavefunction.to_gspace_blocks("orthogonalization transpose")
+    partials = [pg.conj() @ pg.T for pg in psi_g]
+    overlap = comm.allreduce(partials, description="orthogonalization allreduce")[0]
+    try:
+        chol = sla.cholesky(overlap, lower=True)
+    except sla.LinAlgError as exc:  # pragma: no cover - defensive
+        raise np.linalg.LinAlgError(
+            "overlap matrix is not positive definite; wavefunctions are linearly dependent"
+        ) from exc
+    inv_l = sla.solve_triangular(chol, np.eye(chol.shape[0]), lower=True)
+    rotation = np.conj(inv_l)
+    rotated_g = [rotation @ block for block in psi_g]
+    return DistributedWavefunction.from_gspace_blocks(
+        wavefunction, rotated_g, description="orthogonalization back-transpose"
+    )

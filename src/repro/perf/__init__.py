@@ -1,0 +1,47 @@
+"""PWDFT-at-scale performance model: workloads, component times, scaling sweeps."""
+
+from .components import (
+    CommunicationBreakdown,
+    ComponentCalibration,
+    PWDFTPerformanceModel,
+    SCFComponentTimes,
+    StepBreakdown,
+)
+from .flops import (
+    flops_efficiency,
+    fock_flop_fraction,
+    fock_flops_per_application,
+    step_flops,
+)
+from .scaling import (
+    StrongScalingPoint,
+    WeakScalingPoint,
+    parallel_efficiency,
+    ptcn_vs_rk4,
+    strong_scaling,
+    weak_scaling,
+)
+from .stages import StageResult, optimization_stage_times
+from .workload import SiliconWorkload, paper_workloads
+
+__all__ = [
+    "CommunicationBreakdown",
+    "ComponentCalibration",
+    "PWDFTPerformanceModel",
+    "SCFComponentTimes",
+    "StepBreakdown",
+    "flops_efficiency",
+    "fock_flop_fraction",
+    "fock_flops_per_application",
+    "step_flops",
+    "StrongScalingPoint",
+    "WeakScalingPoint",
+    "parallel_efficiency",
+    "ptcn_vs_rk4",
+    "strong_scaling",
+    "weak_scaling",
+    "StageResult",
+    "optimization_stage_times",
+    "SiliconWorkload",
+    "paper_workloads",
+]

@@ -1,0 +1,170 @@
+"""The :class:`Wavefunction` container.
+
+A wavefunction set ``Psi = [psi_1, ..., psi_Ne]`` (paper Eq. 1) is stored as a
+``(nbands, npw)`` complex array of plane-wave coefficients on a
+:class:`~repro.pw.grid.PlaneWaveBasis` sphere, which mirrors the band-index
+storage of PWDFT (each row is one band / column of ``Psi`` in the paper's
+notation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .grid import PlaneWaveBasis
+
+__all__ = ["Wavefunction"]
+
+
+class Wavefunction:
+    """A set of orbitals expanded in a plane-wave basis.
+
+    Parameters
+    ----------
+    basis:
+        The plane-wave sphere the coefficients refer to.
+    coefficients:
+        Complex array of shape ``(nbands, npw)``. A copy is **not** made;
+        callers that need isolation should pass ``coefficients.copy()``.
+    occupations:
+        Occupation numbers per band. Defaults to 2 (spin-degenerate doubly
+        occupied bands, as for the silicon systems of the paper).
+    """
+
+    def __init__(
+        self,
+        basis: PlaneWaveBasis,
+        coefficients: np.ndarray,
+        occupations: np.ndarray | None = None,
+    ):
+        coefficients = np.asarray(coefficients, dtype=np.complex128)
+        if coefficients.ndim != 2:
+            raise ValueError(
+                f"coefficients must be 2D (nbands, npw), got shape {coefficients.shape}"
+            )
+        if coefficients.shape[1] != basis.npw:
+            raise ValueError(
+                f"coefficient second dimension {coefficients.shape[1]} does not match "
+                f"basis npw {basis.npw}"
+            )
+        self.basis = basis
+        self.coefficients = coefficients
+        if occupations is None:
+            occupations = np.full(coefficients.shape[0], 2.0)
+        occupations = np.asarray(occupations, dtype=float)
+        if occupations.shape != (coefficients.shape[0],):
+            raise ValueError(
+                f"occupations must have shape ({coefficients.shape[0]},), "
+                f"got {occupations.shape}"
+            )
+        self.occupations = occupations
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def nbands(self) -> int:
+        """Number of bands (paper notation: N_e)."""
+        return self.coefficients.shape[0]
+
+    @property
+    def npw(self) -> int:
+        """Number of plane waves per band (paper notation: N_G)."""
+        return self.coefficients.shape[1]
+
+    def copy(self) -> "Wavefunction":
+        """Deep copy of the coefficients (basis and occupations are shared)."""
+        return Wavefunction(self.basis, self.coefficients.copy(), self.occupations)
+
+    # ------------------------------------------------------------------
+    # Linear algebra
+    # ------------------------------------------------------------------
+    def overlap(self, other: "Wavefunction | np.ndarray" = None) -> np.ndarray:
+        """Overlap matrix ``S = Psi^* Phi`` (paper: ``Psi^* (H Psi)`` etc.).
+
+        With no argument returns the self-overlap ``Psi^* Psi``.
+        """
+        left = self.coefficients
+        if other is None:
+            right = left
+        elif isinstance(other, Wavefunction):
+            right = other.coefficients
+        else:
+            right = np.asarray(other, dtype=np.complex128)
+        return left.conj() @ right.T
+
+    def norms(self) -> np.ndarray:
+        """Per-band L2 norms of the coefficient vectors."""
+        return np.linalg.norm(self.coefficients, axis=1)
+
+    def is_orthonormal(self, tol: float = 1e-8) -> bool:
+        """True if ``Psi^* Psi`` is the identity to within ``tol``."""
+        s = self.overlap()
+        return bool(np.max(np.abs(s - np.eye(self.nbands))) < tol)
+
+    def rotate(self, matrix: np.ndarray) -> "Wavefunction":
+        """Return ``Psi @ U`` for an ``(nbands, nbands)`` matrix ``U``.
+
+        In the column convention of the paper this is the gauge transformation
+        ``Psi U``; with our row storage the result rows are
+        ``sum_i U[i, j] psi_i`` for output band ``j``.
+        """
+        matrix = np.asarray(matrix, dtype=np.complex128)
+        if matrix.shape != (self.nbands, self.nbands):
+            raise ValueError(
+                f"rotation matrix must be ({self.nbands}, {self.nbands}), got {matrix.shape}"
+            )
+        return Wavefunction(self.basis, matrix.T @ self.coefficients, self.occupations)
+
+    # ------------------------------------------------------------------
+    # Real-space access
+    # ------------------------------------------------------------------
+    def to_real_space(self) -> np.ndarray:
+        """Real-space orbital values, shape ``(nbands, n1, n2, n3)``."""
+        return self.basis.to_real_space(self.coefficients)
+
+    @classmethod
+    def from_real_space(
+        cls,
+        basis: PlaneWaveBasis,
+        psi_real: np.ndarray,
+        occupations: np.ndarray | None = None,
+    ) -> "Wavefunction":
+        """Build a wavefunction by projecting real-space orbitals onto the sphere."""
+        coeffs = basis.from_real_space(np.asarray(psi_real, dtype=np.complex128))
+        return cls(basis, coeffs, occupations)
+
+    # ------------------------------------------------------------------
+    # Density matrix utilities (gauge invariance checks)
+    # ------------------------------------------------------------------
+    def density_matrix(self) -> np.ndarray:
+        """The (plane-wave representation of the) density matrix ``P = Psi Psi^*``.
+
+        Returned as an ``(npw, npw)`` matrix; only suitable for small bases,
+        used in tests to verify gauge invariance of the parallel transport
+        dynamics (P is the physical, gauge-invariant object).
+        """
+        c = self.coefficients
+        occ = self.occupations
+        return (c.T * occ) @ c.conj()
+
+    @classmethod
+    def random(
+        cls,
+        basis: PlaneWaveBasis,
+        nbands: int,
+        rng: np.random.Generator | None = None,
+        orthonormal: bool = True,
+        occupations: np.ndarray | None = None,
+    ) -> "Wavefunction":
+        """Random wavefunction set, orthonormalised by default."""
+        coeffs = basis.random_coefficients(nbands, rng)
+        wf = cls(basis, coeffs, occupations)
+        if orthonormal:
+            from .orthogonalization import lowdin_orthonormalize
+
+            wf = lowdin_orthonormalize(wf)
+        return wf
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Wavefunction(nbands={self.nbands}, npw={self.npw})"

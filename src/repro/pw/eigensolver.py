@@ -1,0 +1,159 @@
+"""Iterative eigensolvers for the ground-state Kohn–Sham problem.
+
+The rt-TDDFT runs of the paper start from converged ground-state orbitals. We
+provide two solvers for the lowest ``nbands`` eigenpairs of the (fixed-density)
+Kohn–Sham Hamiltonian:
+
+* a preconditioned **block Davidson** solver, the workhorse used by the
+  ground-state SCF driver, and
+* a **dense** solver that explicitly builds the Hamiltonian matrix in the
+  plane-wave basis, only feasible for very small bases but invaluable as a
+  reference in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+import scipy.linalg as sla
+
+__all__ = ["EigenResult", "block_davidson", "dense_eigensolve"]
+
+
+@dataclass
+class EigenResult:
+    """Result of an eigensolve.
+
+    Attributes
+    ----------
+    eigenvalues:
+        Ascending eigenvalues, shape ``(nbands,)``.
+    eigenvectors:
+        Row-stored eigenvectors, shape ``(nbands, npw)``.
+    iterations:
+        Number of outer iterations performed.
+    residual_norms:
+        Final residual norms per band.
+    converged:
+        True if all residuals dropped below the tolerance.
+    """
+
+    eigenvalues: np.ndarray
+    eigenvectors: np.ndarray
+    iterations: int
+    residual_norms: np.ndarray
+    converged: bool
+
+
+def _rayleigh_ritz(
+    apply_h: Callable[[np.ndarray], np.ndarray], subspace: np.ndarray, nbands: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Orthonormalise ``subspace`` rows, project H, and return the lowest pairs."""
+    # orthonormalise the subspace with a QR factorisation (rows as vectors)
+    q, _ = np.linalg.qr(subspace.T)
+    basis = q.T  # rows orthonormal in the <u|v> = sum conj(u) v inner product
+    h_basis = apply_h(basis)
+    h_sub = basis.conj() @ h_basis.T
+    h_sub = 0.5 * (h_sub + h_sub.conj().T)
+    eigval, eigvec = np.linalg.eigh(h_sub)
+    eigval = eigval[:nbands]
+    eigvec = eigvec[:, :nbands]
+    ritz_vectors = (eigvec.T @ basis).astype(np.complex128)
+    h_ritz = (eigvec.T @ h_basis).astype(np.complex128)
+    return eigval, ritz_vectors, h_ritz
+
+
+def block_davidson(
+    apply_h: Callable[[np.ndarray], np.ndarray],
+    initial_guess: np.ndarray,
+    nbands: int,
+    preconditioner: np.ndarray | None = None,
+    max_iterations: int = 60,
+    tolerance: float = 1e-7,
+    max_subspace_factor: int = 4,
+) -> EigenResult:
+    """Preconditioned block Davidson solver for the lowest ``nbands`` eigenpairs.
+
+    Parameters
+    ----------
+    apply_h:
+        Callable mapping a ``(m, npw)`` coefficient block to ``H`` applied to it.
+        ``H`` must be Hermitian.
+    initial_guess:
+        ``(>= nbands, npw)`` starting block.
+    nbands:
+        Number of eigenpairs wanted.
+    preconditioner:
+        Positive diagonal preconditioner of shape ``(npw,)`` (e.g.
+        ``1 / (|G|^2/2 + shift)``); identity if omitted.
+    max_iterations:
+        Maximum outer iterations.
+    tolerance:
+        Convergence threshold on the residual 2-norms.
+    max_subspace_factor:
+        Restart the search space when it exceeds ``factor * nbands`` vectors.
+    """
+    guess = np.asarray(initial_guess, dtype=np.complex128)
+    if guess.ndim != 2 or guess.shape[0] < nbands:
+        raise ValueError("initial_guess must be a 2D block with at least nbands rows")
+    npw = guess.shape[1]
+    if preconditioner is None:
+        preconditioner = np.ones(npw)
+    preconditioner = np.asarray(preconditioner, dtype=float)
+
+    subspace = guess.copy()
+    eigval = np.zeros(nbands)
+    ritz = guess[:nbands].copy()
+    residual_norms = np.full(nbands, np.inf)
+    iterations = 0
+
+    for iterations in range(1, max_iterations + 1):
+        eigval, ritz, h_ritz = _rayleigh_ritz(apply_h, subspace, nbands)
+        residuals = h_ritz - eigval[:, None] * ritz
+        residual_norms = np.linalg.norm(residuals, axis=1)
+        if np.all(residual_norms < tolerance):
+            return EigenResult(eigval, ritz, iterations, residual_norms, True)
+        # preconditioned correction vectors for unconverged bands
+        new_directions = []
+        for b in range(nbands):
+            if residual_norms[b] < tolerance:
+                continue
+            denom = 1.0 / preconditioner - eigval[b]
+            # guard against tiny denominators
+            denom = np.where(np.abs(denom) < 1e-3, np.sign(denom + 1e-30) * 1e-3, denom)
+            correction = residuals[b] / denom
+            norm = np.linalg.norm(correction)
+            if norm > 1e-14:
+                new_directions.append(correction / norm)
+        if not new_directions:
+            break
+        if subspace.shape[0] + len(new_directions) > max_subspace_factor * nbands:
+            subspace = ritz.copy()
+        subspace = np.vstack([subspace, np.asarray(new_directions)])
+
+    return EigenResult(eigval, ritz, iterations, residual_norms, bool(np.all(residual_norms < tolerance)))
+
+
+def dense_eigensolve(
+    apply_h: Callable[[np.ndarray], np.ndarray], npw: int, nbands: int
+) -> EigenResult:
+    """Build the dense Hamiltonian by applying ``H`` to unit vectors and diagonalise.
+
+    Cost is ``O(npw)`` operator applications and an ``O(npw^3)`` dense solve, so
+    this is only usable for small test bases — but it gives machine-precision
+    reference eigenpairs for validating :func:`block_davidson`.
+    """
+    identity = np.eye(npw, dtype=np.complex128)
+    h_matrix = apply_h(identity).T  # columns H e_j -> matrix with H[i, j]
+    h_matrix = 0.5 * (h_matrix + h_matrix.conj().T)
+    eigval, eigvec = sla.eigh(h_matrix)
+    vectors = eigvec[:, :nbands].T
+    return EigenResult(
+        eigenvalues=eigval[:nbands],
+        eigenvectors=np.ascontiguousarray(vectors),
+        iterations=1,
+        residual_norms=np.zeros(nbands),
+        converged=True,
+    )

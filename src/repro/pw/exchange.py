@@ -1,0 +1,194 @@
+"""The Fock exchange operator (Eq. 3 / Alg. 2 of the paper), serial reference.
+
+Applying the (possibly screened) Fock exchange operator to a block of orbitals,
+
+.. math::
+
+    (V_X[P] \\psi_j)(r) = -\\alpha \\sum_{i=1}^{N_e} \\psi_i(r)
+        \\int K(r - r') \\psi_i^*(r') \\psi_j(r') \\, dr',
+
+requires solving ``N_e^2`` Poisson-like equations, each one forward + one
+backward FFT thanks to the convolutional kernel. In a CPU implementation this
+takes ~95 % of the total rt-TDDFT run time (Section 1 and 3 of the paper),
+which is exactly why the paper (a) reduces the number of applications with the
+PT-CN integrator and (b) accelerates each application on GPUs.
+
+This module provides the serial reference implementation used by the physics
+engine and as the ground truth for the distributed Alg. 2 implementation in
+:mod:`repro.parallel.exchange_parallel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .basis import Wavefunction
+from .grid import FFTGrid, PlaneWaveBasis
+from .poisson import CoulombKernel, bare_coulomb_kernel, screened_exchange_kernel
+
+__all__ = ["ExchangeOperator", "ExchangeCounters"]
+
+
+@dataclass
+class ExchangeCounters:
+    """Operation counters of a Fock exchange application.
+
+    The counters mirror the quantities the paper reports: the number of
+    Poisson-like solves (``N_e * N_occupied``), the number of FFTs (two per
+    solve plus the transforms of the orbitals), and the data volume that a
+    distributed implementation would have to broadcast.
+    """
+
+    poisson_solves: int = 0
+    ffts: int = 0
+    applications: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.poisson_solves = 0
+        self.ffts = 0
+        self.applications = 0
+
+
+class ExchangeOperator:
+    """Screened or bare Fock exchange operator for a plane-wave basis.
+
+    Parameters
+    ----------
+    basis:
+        Plane-wave basis of the orbitals the operator acts on.
+    mixing_fraction:
+        The hybrid mixing fraction ``alpha`` (0.25 for HSE06/PBE0).
+    screening_length:
+        If given, use the short-range erfc-screened kernel with parameter
+        ``mu`` (HSE-style); otherwise the bare Coulomb kernel.
+    kernel:
+        Optional explicit :class:`CoulombKernel`, overriding the two options
+        above (used in tests).
+
+    Notes
+    -----
+    The operator depends on the *exchange orbitals* ``{psi_i}`` that define the
+    density matrix ``P``: call :meth:`set_orbitals` before :meth:`apply`. In
+    the PT-CN inner SCF these are the current iterate ``Psi_f`` (the operator
+    is updated once per SCF step, consistent with the paper's Alg. 1 line 5).
+    """
+
+    def __init__(
+        self,
+        basis: PlaneWaveBasis,
+        mixing_fraction: float = 0.25,
+        screening_length: float | None = None,
+        kernel: CoulombKernel | None = None,
+    ):
+        if mixing_fraction < 0:
+            raise ValueError("mixing_fraction must be non-negative")
+        self.basis = basis
+        self.grid: FFTGrid = basis.grid
+        self.mixing_fraction = float(mixing_fraction)
+        self.screening_length = screening_length
+        if kernel is not None:
+            self.kernel = kernel
+        elif screening_length is not None:
+            self.kernel = screened_exchange_kernel(self.grid, screening_length)
+        else:
+            self.kernel = bare_coulomb_kernel(self.grid)
+        self.counters = ExchangeCounters()
+        self._orbitals_real: np.ndarray | None = None
+        self._occupations: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def has_orbitals(self) -> bool:
+        """Whether exchange orbitals have been set."""
+        return self._orbitals_real is not None
+
+    def set_orbitals(self, wavefunction: Wavefunction) -> None:
+        """Set the orbitals defining the density matrix ``P`` of ``V_X[P]``.
+
+        The orbitals are transformed to the real-space grid once and cached,
+        mirroring the paper's strategy of keeping wavefunctions resident on the
+        GPU during the Fock loop.
+        """
+        if wavefunction.basis is not self.basis and wavefunction.basis.npw != self.basis.npw:
+            raise ValueError("exchange orbitals must live on the operator's basis")
+        self._orbitals_real = wavefunction.to_real_space()
+        self._occupations = wavefunction.occupations.copy()
+        self.counters.ffts += wavefunction.nbands
+
+    # ------------------------------------------------------------------
+    def apply(self, coefficients: np.ndarray) -> np.ndarray:
+        """Apply ``V_X`` to a block of orbital coefficients.
+
+        Parameters
+        ----------
+        coefficients:
+            Array of shape ``(nbands, npw)`` (band-index storage, one row per
+            band exactly as each MPI task holds ``N_e' = N_e / N_p`` bands in
+            the paper).
+
+        Returns
+        -------
+        ndarray
+            ``V_X Psi`` in the same representation.
+        """
+        if self.mixing_fraction == 0.0:
+            return np.zeros_like(np.asarray(coefficients, dtype=np.complex128))
+        if self._orbitals_real is None or self._occupations is None:
+            raise RuntimeError("call set_orbitals() before apply()")
+        coefficients = np.asarray(coefficients, dtype=np.complex128)
+        if coefficients.ndim == 1:
+            coefficients = coefficients[None, :]
+        target_real = self.basis.to_real_space(coefficients)  # (nb, n1, n2, n3)
+        self.counters.ffts += target_real.shape[0]
+
+        out_real = np.zeros_like(target_real)
+        occ = self._occupations
+        # spin-degenerate occupations: the exchange sums over occupied *spin*
+        # orbitals of one spin channel, so the weight per doubly occupied band
+        # is occ/2.
+        weights = occ / 2.0
+        for i in range(self._orbitals_real.shape[0]):
+            w = weights[i]
+            if w == 0.0:
+                continue
+            psi_i = self._orbitals_real[i]
+            # pair densities for all target bands at once: (nb, n1, n2, n3)
+            pair = np.conj(psi_i)[None, ...] * target_real
+            potential = self.kernel.apply_to_density(pair)
+            self.counters.poisson_solves += target_real.shape[0]
+            self.counters.ffts += 2 * target_real.shape[0]
+            out_real += w * psi_i[None, ...] * potential
+        out_real *= -self.mixing_fraction
+        self.counters.applications += 1
+        out = self.basis.from_real_space(out_real)
+        self.counters.ffts += target_real.shape[0]
+        return out
+
+    # ------------------------------------------------------------------
+    def energy(self, wavefunction: Wavefunction) -> float:
+        """Fock exchange energy ``-alpha/2 sum_ij f_i f_j /4 * (ij|K|ji)`` ...
+
+        Evaluated as ``1/2 sum_j f_j <psi_j | V_X | psi_j>`` with the exchange
+        orbitals taken from ``wavefunction`` itself (the standard expression
+        for the exchange energy of a single determinant).
+        """
+        previous_real = self._orbitals_real
+        previous_occ = self._occupations
+        self.set_orbitals(wavefunction)
+        vx_psi = self.apply(wavefunction.coefficients)
+        per_band = np.real(np.einsum("ng,ng->n", wavefunction.coefficients.conj(), vx_psi))
+        energy = 0.5 * float(np.sum(wavefunction.occupations * per_band))
+        # restore any previously set orbitals so energy evaluation has no side effects
+        self._orbitals_real = previous_real
+        self._occupations = previous_occ
+        return energy
+
+    def expected_poisson_solves(self, n_target_bands: int) -> int:
+        """Number of Poisson solves one application performs (paper: N_e^2 when
+        the target block is the full set of occupied orbitals)."""
+        if self._orbitals_real is None:
+            raise RuntimeError("exchange orbitals not set")
+        return int(self._orbitals_real.shape[0]) * int(n_target_bands)

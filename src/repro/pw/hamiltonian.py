@@ -1,0 +1,306 @@
+"""The time-dependent Kohn–Sham Hamiltonian ``H(t, P(t))`` (Eq. 2 of the paper).
+
+``H = -1/2 Laplacian + V_ext(t) + V_Hxc[P] + V_X[P]`` where
+
+* the kinetic term is diagonal in reciprocal space,
+* ``V_ext`` contains the local and nonlocal pseudopotentials plus the
+  time-dependent external (laser) field,
+* ``V_Hxc`` is the Hartree plus semi-local exchange-correlation potential, a
+  local multiplicative potential depending on the density, and
+* ``V_X`` is the (screened) Fock exchange integral operator depending on the
+  full density matrix.
+
+The class below assembles these pieces and exposes the two operations the
+propagators need: :meth:`update_potential` (recompute ``V_Hxc`` and the
+exchange orbitals from a wavefunction/density) and :meth:`apply` (evaluate
+``H Psi`` for a coefficient block), which is the ``HΨ`` kernel whose cost
+dominates the paper's runtime breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from .basis import Wavefunction
+from .density import compute_density
+from .exchange import ExchangeOperator
+from .grid import FFTGrid, PlaneWaveBasis
+from .poisson import hartree_energy, hartree_potential
+from .pseudopotential import (
+    LocalPotentialBuilder,
+    NonlocalPotential,
+    PseudopotentialSpecies,
+    ewald_energy,
+)
+from .structures import Structure
+from .xc import LDAFunctional
+
+__all__ = ["Hamiltonian", "EnergyBreakdown", "HamiltonianCounters"]
+
+
+@dataclass
+class EnergyBreakdown:
+    """Decomposition of the total energy, all terms in Hartree."""
+
+    kinetic: float = 0.0
+    external: float = 0.0
+    nonlocal_psp: float = 0.0
+    hartree: float = 0.0
+    xc: float = 0.0
+    exact_exchange: float = 0.0
+    ewald: float = 0.0
+    laser: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Sum of all contributions."""
+        return (
+            self.kinetic
+            + self.external
+            + self.nonlocal_psp
+            + self.hartree
+            + self.xc
+            + self.exact_exchange
+            + self.ewald
+            + self.laser
+        )
+
+
+@dataclass
+class HamiltonianCounters:
+    """Counts of the expensive kernels, mirroring the paper's profiling."""
+
+    apply_calls: int = 0
+    fock_applications: int = 0
+    potential_updates: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.apply_calls = 0
+        self.fock_applications = 0
+        self.potential_updates = 0
+
+
+class Hamiltonian:
+    """Plane-wave Kohn–Sham Hamiltonian with optional hybrid exchange.
+
+    Parameters
+    ----------
+    basis:
+        Plane-wave basis for the orbitals.
+    structure:
+        Atomic structure (species + positions) providing the pseudopotentials.
+    hybrid_mixing:
+        Fock exchange fraction ``alpha``; 0 disables hybrid exchange
+        (semi-local functional), 0.25 is the HSE/PBE0 value used by the paper.
+    screening_length:
+        Screening parameter ``mu`` of the short-range exchange kernel; ``None``
+        selects the bare (PBE0-style) kernel.
+    external_field:
+        Optional callable ``t -> ndarray(grid.shape)`` returning the external
+        scalar potential of the laser at time ``t`` (length gauge), or ``None``.
+    include_nonlocal:
+        Whether to build the Kleinman–Bylander nonlocal projectors.
+    """
+
+    def __init__(
+        self,
+        basis: PlaneWaveBasis,
+        structure: Structure,
+        hybrid_mixing: float = 0.25,
+        screening_length: float | None = 0.106,
+        external_field: Callable[[float], np.ndarray] | None = None,
+        include_nonlocal: bool = True,
+        xc_functional: LDAFunctional | None = None,
+    ):
+        self.basis = basis
+        self.grid: FFTGrid = basis.grid
+        self.structure = structure
+        self.hybrid_mixing = float(hybrid_mixing)
+        self.external_field = external_field
+        self.counters = HamiltonianCounters()
+
+        species_list = structure.species_list
+        positions_list = structure.positions_by_species
+
+        self._local_builder = LocalPotentialBuilder(self.grid)
+        self.v_ionic = self._local_builder.build(species_list, positions_list)
+
+        if include_nonlocal:
+            self.nonlocal_psp = NonlocalPotential(basis, species_list, positions_list)
+        else:
+            self.nonlocal_psp = NonlocalPotential(basis, [], [])
+
+        if xc_functional is None:
+            xc_functional = LDAFunctional(exchange_scale=max(0.0, 1.0 - self.hybrid_mixing))
+        self.xc = xc_functional
+
+        if self.hybrid_mixing > 0:
+            self.exchange: ExchangeOperator | None = ExchangeOperator(
+                basis,
+                mixing_fraction=self.hybrid_mixing,
+                screening_length=screening_length,
+            )
+        else:
+            self.exchange = None
+
+        self.kinetic_diagonal = basis.kinetic_energies.copy()
+
+        # mutable state updated by update_potential()
+        self.density: np.ndarray | None = None
+        self.v_hartree = np.zeros(self.grid.shape)
+        self.v_xc = np.zeros(self.grid.shape)
+        self._xc_energy = 0.0
+        self.time = 0.0
+        self._v_external_t = np.zeros(self.grid.shape)
+
+        self._ewald = ewald_energy(
+            self.grid.cell,
+            structure.positions,
+            structure.valence_charges,
+        )
+
+    # ------------------------------------------------------------------
+    # State updates
+    # ------------------------------------------------------------------
+    @property
+    def n_electrons(self) -> float:
+        """Number of valence electrons of the structure."""
+        return float(np.sum(self.structure.valence_charges))
+
+    def set_time(self, time: float) -> None:
+        """Set the simulation time, refreshing the external laser potential."""
+        self.time = float(time)
+        if self.external_field is not None:
+            self._v_external_t = np.asarray(self.external_field(self.time), dtype=float)
+            if self._v_external_t.shape != self.grid.shape:
+                raise ValueError(
+                    "external_field must return an array matching the grid shape"
+                )
+        else:
+            self._v_external_t = np.zeros(self.grid.shape)
+
+    def update_potential(
+        self,
+        wavefunction: Wavefunction,
+        density: np.ndarray | None = None,
+        update_exchange: bool = True,
+    ) -> np.ndarray:
+        """Recompute ``V_Hxc`` (and the exchange orbitals) from a wavefunction.
+
+        This is Alg. 1 line 5 of the paper ("Update the potential and the
+        Hamiltonian H_f"). Returns the density used.
+        """
+        if density is None:
+            density = compute_density(wavefunction, self.grid)
+        self.density = density
+        self.v_hartree = hartree_potential(self.grid, density)
+        xc_result = self.xc.evaluate(density, self.grid.volume_element)
+        self.v_xc = xc_result.potential
+        self._xc_energy = xc_result.energy
+        if self.exchange is not None and update_exchange:
+            self.exchange.set_orbitals(wavefunction)
+            self.counters.fock_applications += 0  # orbitals update is not an application
+        self.counters.potential_updates += 1
+        return density
+
+    # ------------------------------------------------------------------
+    # Operator application
+    # ------------------------------------------------------------------
+    @property
+    def local_potential(self) -> np.ndarray:
+        """Total local potential ``V_ion + V_H + V_xc + V_laser(t)`` on the grid."""
+        return self.v_ionic + self.v_hartree + self.v_xc + self._v_external_t
+
+    def apply(self, coefficients: np.ndarray, include_exchange: bool = True) -> np.ndarray:
+        """Evaluate ``H Psi`` for a block of plane-wave coefficients.
+
+        Parameters
+        ----------
+        coefficients:
+            ``(nbands, npw)`` complex array.
+        include_exchange:
+            If False, skip the Fock exchange term (used by semi-local
+            preconditioners and by the ACE-style extensions).
+        """
+        coefficients = np.asarray(coefficients, dtype=np.complex128)
+        single = coefficients.ndim == 1
+        if single:
+            coefficients = coefficients[None, :]
+        self.counters.apply_calls += 1
+
+        # kinetic: diagonal in G space
+        out = coefficients * self.kinetic_diagonal[None, :]
+
+        # local potential: FFT to real space, multiply, FFT back
+        psi_real = self.basis.to_real_space(coefficients)
+        v_local = self.local_potential
+        out += self.basis.from_real_space(v_local[None, ...] * psi_real)
+
+        # nonlocal pseudopotential
+        out += self.nonlocal_psp.apply(coefficients)
+
+        # hybrid exchange
+        if include_exchange and self.exchange is not None:
+            out += self.exchange.apply(coefficients)
+            self.counters.fock_applications += 1
+        return out[0] if single else out
+
+    def apply_to_wavefunction(self, wavefunction: Wavefunction) -> Wavefunction:
+        """Convenience wrapper returning a :class:`Wavefunction` of ``H Psi``."""
+        return Wavefunction(
+            self.basis, self.apply(wavefunction.coefficients), wavefunction.occupations
+        )
+
+    # ------------------------------------------------------------------
+    # Energies
+    # ------------------------------------------------------------------
+    def energy(self, wavefunction: Wavefunction) -> EnergyBreakdown:
+        """Total energy breakdown for a wavefunction set.
+
+        The density-dependent terms are evaluated from the density of
+        ``wavefunction`` (not from the cached SCF density) so the method can be
+        used both during SCF and for reporting along a trajectory.
+        """
+        density = compute_density(wavefunction, self.grid)
+        occ = wavefunction.occupations
+        coeff = wavefunction.coefficients
+
+        kinetic = float(
+            np.real(
+                np.sum(occ[:, None] * (np.abs(coeff) ** 2) * self.kinetic_diagonal[None, :])
+            )
+        )
+        v_h = hartree_potential(self.grid, density)
+        e_hartree = hartree_energy(self.grid, density, v_h)
+        e_external = float(np.real(self.grid.integrate(density * self.v_ionic)))
+        e_laser = float(np.real(self.grid.integrate(density * self._v_external_t)))
+        xc_result = self.xc.evaluate(density, self.grid.volume_element)
+        e_nl = self.nonlocal_psp.energy(coeff, occ)
+        e_x = self.exchange.energy(wavefunction) if self.exchange is not None else 0.0
+        return EnergyBreakdown(
+            kinetic=kinetic,
+            external=e_external,
+            nonlocal_psp=e_nl,
+            hartree=e_hartree,
+            xc=xc_result.energy,
+            exact_exchange=e_x,
+            ewald=self._ewald,
+            laser=e_laser,
+        )
+
+    def total_energy(self, wavefunction: Wavefunction) -> float:
+        """Total energy (Hartree) for a wavefunction set."""
+        return self.energy(wavefunction).total
+
+    # ------------------------------------------------------------------
+    def preconditioner(self, shift: float = 1.0) -> np.ndarray:
+        """Simple Tetter–Payne–Allan-style diagonal preconditioner.
+
+        Returns a positive array of shape ``(npw,)`` approximating
+        ``1 / (|G|^2/2 + shift)``; used by the iterative eigensolver.
+        """
+        return 1.0 / (self.kinetic_diagonal + shift)

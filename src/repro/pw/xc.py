@@ -1,0 +1,138 @@
+"""Local exchange-correlation functionals.
+
+The paper uses the HSE06 hybrid functional: a semi-local exchange-correlation
+part plus a fraction of screened Fock exchange. This module provides the
+semi-local ("local" in the paper's VHxc notation) part. We implement the
+spin-unpolarised LDA: Slater exchange plus Perdew–Zunger 1981 correlation.
+Chemical accuracy of the semi-local part is irrelevant to the algorithmic
+claims reproduced here (time-step enlargement, operator cost, scaling); what
+matters is that VHxc is a nonlinear local potential of the density, which LDA
+provides.
+
+The screened Fock exchange part lives in :mod:`repro.pw.exchange`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LDAFunctional", "lda_exchange", "pz81_correlation", "XCResult"]
+
+# Slater exchange prefactor: e_x(rho) = Cx * rho^{1/3}, Cx = -(3/4)(3/pi)^{1/3}
+_CX = -0.75 * (3.0 / np.pi) ** (1.0 / 3.0)
+
+# Perdew-Zunger 1981 parameters (unpolarised)
+_PZ_GAMMA = -0.1423
+_PZ_BETA1 = 1.0529
+_PZ_BETA2 = 0.3334
+_PZ_A = 0.0311
+_PZ_B = -0.048
+_PZ_C = 0.0020
+_PZ_D = -0.0116
+
+
+@dataclass(frozen=True)
+class XCResult:
+    """Result of an exchange-correlation evaluation.
+
+    Attributes
+    ----------
+    energy_density:
+        Energy per electron ``epsilon_xc(rho)`` on the grid.
+    potential:
+        Functional derivative ``v_xc(rho) = d(rho epsilon_xc)/d rho``.
+    energy:
+        Integrated exchange-correlation energy (set by the caller that knows
+        the integration weight).
+    """
+
+    energy_density: np.ndarray
+    potential: np.ndarray
+    energy: float = 0.0
+
+
+def lda_exchange(rho: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Slater exchange energy density and potential.
+
+    Returns ``(epsilon_x, v_x)`` with ``epsilon_x = Cx rho^(1/3)`` and
+    ``v_x = (4/3) Cx rho^(1/3)``. Densities are clipped at zero so tiny
+    negative values from FFT round-off do not produce NaNs.
+    """
+    rho = np.maximum(np.asarray(rho, dtype=float), 0.0)
+    rho13 = np.cbrt(rho)
+    eps_x = _CX * rho13
+    v_x = (4.0 / 3.0) * _CX * rho13
+    return eps_x, v_x
+
+
+def pz81_correlation(rho: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Perdew–Zunger 1981 parameterisation of the correlation energy (unpolarised).
+
+    Returns ``(epsilon_c, v_c)``. Uses the high-density (rs < 1) logarithmic
+    form and the low-density Padé form, matched at ``rs = 1`` as in the
+    original paper.
+    """
+    rho = np.maximum(np.asarray(rho, dtype=float), 0.0)
+    eps_c = np.zeros_like(rho)
+    v_c = np.zeros_like(rho)
+    tiny = 1e-20
+    positive = rho > tiny
+    if not np.any(positive):
+        return eps_c, v_c
+
+    rs = np.empty_like(rho)
+    rs[positive] = (3.0 / (4.0 * np.pi * rho[positive])) ** (1.0 / 3.0)
+
+    high = positive & (rs < 1.0)
+    low = positive & (rs >= 1.0)
+
+    if np.any(high):
+        rs_h = rs[high]
+        lnrs = np.log(rs_h)
+        eps = _PZ_A * lnrs + _PZ_B + _PZ_C * rs_h * lnrs + _PZ_D * rs_h
+        # v_c = eps - (rs/3) d eps / d rs
+        deps = _PZ_A / rs_h + _PZ_C * (lnrs + 1.0) + _PZ_D
+        eps_c[high] = eps
+        v_c[high] = eps - (rs_h / 3.0) * deps
+
+    if np.any(low):
+        rs_l = rs[low]
+        sqrt_rs = np.sqrt(rs_l)
+        denom = 1.0 + _PZ_BETA1 * sqrt_rs + _PZ_BETA2 * rs_l
+        eps = _PZ_GAMMA / denom
+        deps = -_PZ_GAMMA * (0.5 * _PZ_BETA1 / sqrt_rs + _PZ_BETA2) / (denom * denom)
+        eps_c[low] = eps
+        v_c[low] = eps - (rs_l / 3.0) * deps
+
+    return eps_c, v_c
+
+
+class LDAFunctional:
+    """Spin-unpolarised LDA (Slater exchange + PZ81 correlation).
+
+    The optional ``exchange_scale`` lets a hybrid functional remove the
+    fraction of local exchange that is replaced by Fock exchange (PBE0/HSE
+    style: ``(1 - alpha)`` of semi-local exchange plus ``alpha`` of Fock
+    exchange).
+    """
+
+    def __init__(self, exchange_scale: float = 1.0, correlation: bool = True):
+        if exchange_scale < 0.0:
+            raise ValueError("exchange_scale must be non-negative")
+        self.exchange_scale = float(exchange_scale)
+        self.correlation = bool(correlation)
+
+    def evaluate(self, rho: np.ndarray, volume_element: float) -> XCResult:
+        """Evaluate energy density, potential, and integrated energy."""
+        rho = np.maximum(np.asarray(rho, dtype=float), 0.0)
+        eps_x, v_x = lda_exchange(rho)
+        eps = self.exchange_scale * eps_x
+        pot = self.exchange_scale * v_x
+        if self.correlation:
+            eps_c, v_c = pz81_correlation(rho)
+            eps = eps + eps_c
+            pot = pot + v_c
+        energy = float(np.sum(rho * eps) * volume_element)
+        return XCResult(energy_density=eps, potential=pot, energy=energy)

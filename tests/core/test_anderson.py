@@ -1,0 +1,135 @@
+"""Tests for the Anderson mixer."""
+
+import numpy as np
+import pytest
+
+from repro.core.anderson import AndersonMixer
+
+
+def linear_fixed_point(matrix, rhs):
+    """Residual function of the linear problem A x = b as F(x) = A x - b."""
+
+    def residual(x):
+        return matrix @ x - rhs
+
+    return residual
+
+
+class TestValidation:
+    def test_invalid_history(self):
+        with pytest.raises(ValueError):
+            AndersonMixer(history_size=0)
+
+    def test_invalid_beta(self):
+        with pytest.raises(ValueError):
+            AndersonMixer(mixing_parameter=0.0)
+        with pytest.raises(ValueError):
+            AndersonMixer(mixing_parameter=1.5)
+
+    def test_shape_mismatch(self):
+        mixer = AndersonMixer()
+        with pytest.raises(ValueError):
+            mixer.update(np.zeros(3), np.zeros(4))
+
+
+class TestBasicBehaviour:
+    def test_first_step_is_simple_relaxation(self):
+        mixer = AndersonMixer(mixing_parameter=0.5)
+        x = np.array([1.0 + 0j, 2.0])
+        f = np.array([0.2 + 0j, -0.4])
+        out = mixer.update(x, f)
+        assert np.allclose(out, x - 0.5 * f)
+
+    def test_history_bounded(self):
+        mixer = AndersonMixer(history_size=3)
+        x = np.zeros(4, dtype=complex)
+        for i in range(10):
+            x = mixer.update(x, np.random.default_rng(i).standard_normal(4) * 0.01)
+        assert mixer.history_length <= 3
+        assert mixer.memory_copies <= 6
+
+    def test_reset_clears_history(self):
+        mixer = AndersonMixer()
+        mixer.update(np.zeros(3, dtype=complex), np.ones(3, dtype=complex))
+        mixer.reset()
+        assert mixer.history_length == 0
+
+    def test_memory_copies_matches_paper_budget(self):
+        """With the paper's history of 20, at most 20+20 wavefunction-sized arrays are held."""
+        mixer = AndersonMixer(history_size=20)
+        x = np.zeros((2, 8), dtype=complex)
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            x = mixer.update(x, 0.01 * (rng.standard_normal(x.shape) + 1j * rng.standard_normal(x.shape)))
+        assert mixer.memory_copies <= 40
+
+
+class TestConvergence:
+    def test_linear_problem_faster_than_plain_relaxation(self):
+        """Anderson must solve a stiff linear system in far fewer iterations than
+        plain damped relaxation at the same beta."""
+        rng = np.random.default_rng(42)
+        n = 20
+        a = np.diag(np.linspace(0.2, 1.8, n)) + 0.05 * rng.standard_normal((n, n))
+        a = 0.5 * (a + a.T)
+        b = rng.standard_normal(n)
+        residual = linear_fixed_point(a, b)
+        solution = np.linalg.solve(a, b)
+
+        def solve(use_anderson, beta=0.4, iters=60):
+            x = np.zeros(n, dtype=complex)
+            mixer = AndersonMixer(history_size=10, mixing_parameter=beta, per_band=False)
+            history = []
+            for _ in range(iters):
+                f = residual(x)
+                history.append(np.linalg.norm(f))
+                if use_anderson:
+                    x = mixer.update(x, f)
+                else:
+                    x = x - beta * f
+            return np.linalg.norm(x - solution), history
+
+        err_anderson, hist_a = solve(True)
+        err_plain, hist_p = solve(False)
+        assert err_anderson < 1e-6
+        assert err_anderson < 1e-3 * max(err_plain, 1e-12) or err_plain < 1e-6
+
+    def test_nonlinear_scalar_problem(self):
+        """Solve x = cos(x) (fixed point ~0.739) via F(x) = x - cos(x)."""
+        mixer = AndersonMixer(history_size=5, per_band=False)
+        x = np.array([0.0 + 0j])
+        for _ in range(40):
+            f = x - np.cos(x)
+            x = mixer.update(x, f)
+        assert abs(x[0].real - 0.7390851332151607) < 1e-10
+
+    def test_per_band_independent(self):
+        """per_band=True treats each row independently: permuting bands permutes results."""
+        rng = np.random.default_rng(1)
+        x0 = rng.standard_normal((3, 6)) + 1j * rng.standard_normal((3, 6))
+        targets = rng.standard_normal((3, 6)) + 1j * rng.standard_normal((3, 6))
+
+        def run(order):
+            mixer = AndersonMixer(history_size=6, per_band=True)
+            x = x0[order].copy()
+            for _ in range(15):
+                f = 0.5 * (x - targets[order])
+                x = mixer.update(x, f)
+            return x
+
+        forward = run([0, 1, 2])
+        permuted = run([2, 0, 1])
+        assert np.allclose(forward[0], permuted[1], atol=1e-10)
+
+    def test_complex_fixed_point(self):
+        """Anderson handles fully complex problems (wavefunction coefficients)."""
+        rng = np.random.default_rng(3)
+        n = 12
+        a = np.eye(n) * 0.8 + 0.05 * (rng.standard_normal((n, n)) + 1j * rng.standard_normal((n, n)))
+        b = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        x = np.zeros(n, dtype=complex)
+        mixer = AndersonMixer(history_size=8, per_band=False)
+        for _ in range(50):
+            f = a @ x - b
+            x = mixer.update(x, f)
+        assert np.linalg.norm(a @ x - b) < 1e-9

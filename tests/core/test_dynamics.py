@@ -1,0 +1,90 @@
+"""Tests for the TDDFT simulation driver."""
+
+import numpy as np
+import pytest
+
+from repro.constants import attoseconds_to_au
+from repro.core import PTCNPropagator, RK4Propagator, TDDFTSimulation
+from repro.pw import Hamiltonian
+
+
+@pytest.fixture()
+def driver_setup(h2_ground_state):
+    ham, result = h2_ground_state
+    prop = PTCNPropagator(ham, scf_tolerance=1e-6, max_scf_iterations=30)
+    return ham, prop, result.wavefunction
+
+
+class TestRun:
+    def test_trajectory_lengths(self, driver_setup):
+        ham, prop, wf0 = driver_setup
+        sim = TDDFTSimulation(ham, prop)
+        traj = sim.run(wf0, attoseconds_to_au(25.0), 3)
+        assert traj.n_steps == 3
+        assert len(traj.times) == 4
+        assert traj.energies.shape == (4,)
+        assert traj.dipoles.shape == (4, 3)
+        assert len(traj.step_statistics) == 3
+
+    def test_times_uniform(self, driver_setup):
+        ham, prop, wf0 = driver_setup
+        sim = TDDFTSimulation(ham, prop)
+        dt = attoseconds_to_au(20.0)
+        traj = sim.run(wf0, dt, 2)
+        assert np.allclose(np.diff(traj.times), dt)
+
+    def test_electron_number_column(self, driver_setup):
+        ham, prop, wf0 = driver_setup
+        sim = TDDFTSimulation(ham, prop)
+        traj = sim.run(wf0, attoseconds_to_au(25.0), 2)
+        assert np.allclose(traj.electron_numbers, 2.0, atol=1e-8)
+
+    def test_field_free_energy_drift_small(self, driver_setup):
+        ham, prop, wf0 = driver_setup
+        sim = TDDFTSimulation(ham, prop)
+        traj = sim.run(wf0, attoseconds_to_au(25.0), 3)
+        assert traj.energy_drift < 1e-4
+
+    def test_callback_invoked(self, driver_setup):
+        ham, prop, wf0 = driver_setup
+        sim = TDDFTSimulation(ham, prop)
+        calls = []
+        sim.run(wf0, attoseconds_to_au(25.0), 2, callback=lambda i, t, wf, st: calls.append(i))
+        assert calls == [0, 1]
+
+    def test_initial_state_not_modified(self, driver_setup):
+        ham, prop, wf0 = driver_setup
+        before = wf0.coefficients.copy()
+        sim = TDDFTSimulation(ham, prop)
+        sim.run(wf0, attoseconds_to_au(25.0), 2)
+        assert np.allclose(wf0.coefficients, before)
+
+    def test_disable_recording(self, driver_setup):
+        ham, prop, wf0 = driver_setup
+        sim = TDDFTSimulation(ham, prop, record_energy=False, record_dipole=False)
+        traj = sim.run(wf0, attoseconds_to_au(25.0), 1)
+        assert np.isnan(traj.energies[0])
+        assert np.isnan(traj.dipoles[0, 0])
+
+    def test_validation(self, driver_setup):
+        ham, prop, wf0 = driver_setup
+        sim = TDDFTSimulation(ham, prop)
+        with pytest.raises(ValueError):
+            sim.run(wf0, attoseconds_to_au(25.0), 0)
+        with pytest.raises(ValueError):
+            sim.run(wf0, -1.0, 2)
+
+    def test_summary_statistics(self, driver_setup):
+        ham, prop, wf0 = driver_setup
+        sim = TDDFTSimulation(ham, prop)
+        traj = sim.run(wf0, attoseconds_to_au(25.0), 2)
+        assert traj.average_scf_iterations > 0
+        assert traj.total_hamiltonian_applications >= traj.n_steps
+        assert traj.wall_time > 0.0
+
+    def test_dipole_along(self, driver_setup):
+        ham, prop, wf0 = driver_setup
+        sim = TDDFTSimulation(ham, prop)
+        traj = sim.run(wf0, attoseconds_to_au(25.0), 1)
+        z = traj.dipole_along([0, 0, 1])
+        assert np.allclose(z, traj.dipoles[:, 2])

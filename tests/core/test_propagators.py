@@ -1,0 +1,222 @@
+"""Tests for the rt-TDDFT propagators (RK4, CN, PT-CN, ETRS).
+
+These are the central algorithmic tests of the reproduction: the PT-CN scheme
+must (a) conserve norms and energy, (b) agree with RK4 on the gauge-invariant
+observables even though the orbitals themselves differ by a gauge rotation,
+and (c) remain stable at time steps where the explicit schemes are useless —
+which is the entire point of the paper.
+"""
+
+import numpy as np
+import pytest
+
+from repro.constants import attoseconds_to_au
+from repro.core import (
+    CrankNicolsonPropagator,
+    ETRSPropagator,
+    PTCNPropagator,
+    RK4Propagator,
+    density_matrix_distance,
+)
+from repro.core.observables import dipole_moment, electron_number
+from repro.pw import Hamiltonian, Wavefunction, compute_density
+
+
+@pytest.fixture()
+def propagation_setup(h2_ground_state, h2_basis, h2_structure):
+    """A hybrid Hamiltonian with a laser plus the converged H2 ground state."""
+    from repro.pw.laser import GaussianLaserPulse
+
+    _, result = h2_ground_state
+    pulse = GaussianLaserPulse(
+        amplitude=0.01, omega=0.35, t0=4.0, sigma=2.0, polarization=[1, 0, 0], phase=np.pi / 2
+    )
+    ham = Hamiltonian(
+        h2_basis,
+        h2_structure,
+        hybrid_mixing=0.25,
+        screening_length=None,
+        external_field=pulse.potential_factory(h2_basis.grid),
+    )
+    return ham, result.wavefunction
+
+
+class TestRK4:
+    def test_norm_approximately_conserved(self, propagation_setup):
+        ham, wf0 = propagation_setup
+        rk4 = RK4Propagator(ham)
+        rk4.prepare(wf0, 0.0)
+        dt = attoseconds_to_au(2.0)
+        wf, stats = rk4.step(wf0, 0.0, dt)
+        assert stats.hamiltonian_applications == 4
+        assert stats.orthogonality_error < 1e-5
+
+    def test_matches_exact_linear_evolution(self, h2_basis, h2_structure, rng):
+        """With a frozen Hamiltonian, RK4 must match the exact exponential propagator."""
+        import scipy.linalg as sla
+
+        from repro.pw.eigensolver import dense_eigensolve
+
+        ham = Hamiltonian(h2_basis, h2_structure, hybrid_mixing=0.0)
+        wf = Wavefunction.random(h2_basis, 1, rng=rng)
+        ham.update_potential(wf)
+        # build the dense frozen Hamiltonian
+        h_dense = ham.apply(np.eye(h2_basis.npw, dtype=complex)).T
+        h_dense = 0.5 * (h_dense + h_dense.conj().T)
+        dt = 0.02
+        exact = sla.expm(-1j * dt * h_dense) @ wf.coefficients[0]
+        rk4 = RK4Propagator(ham, self_consistent_stages=False)
+        new_wf, _ = rk4.step(wf, 0.0, dt)
+        assert np.max(np.abs(new_wf.coefficients[0] - exact)) < 1e-6
+
+    def test_unstable_at_large_time_step(self, propagation_setup):
+        """RK4 blows up at the PT-CN step size — the paper's motivation for PT."""
+        ham, wf0 = propagation_setup
+        rk4 = RK4Propagator(ham)
+        rk4.prepare(wf0, 0.0)
+        dt = attoseconds_to_au(50.0)
+        wf = wf0
+        with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+            for step in range(5):
+                wf, _ = rk4.step(wf, step * dt, dt)
+        norms = wf.norms()
+        blew_up = (not np.all(np.isfinite(norms))) or np.max(np.abs(norms - 1.0)) > 0.1
+        assert blew_up
+
+
+class TestPTCN:
+    def test_step_converges_and_orthonormal(self, propagation_setup):
+        ham, wf0 = propagation_setup
+        ptcn = PTCNPropagator(ham, scf_tolerance=1e-7, max_scf_iterations=40)
+        ptcn.prepare(wf0, 0.0)
+        dt = attoseconds_to_au(50.0)
+        wf, stats = ptcn.step(wf0, 0.0, dt)
+        assert stats.converged
+        assert wf.is_orthonormal(tol=1e-8)
+        assert stats.scf_iterations <= 40
+
+    def test_norm_conservation_many_steps(self, propagation_setup):
+        ham, wf0 = propagation_setup
+        ptcn = PTCNPropagator(ham, scf_tolerance=1e-6, max_scf_iterations=30)
+        ptcn.prepare(wf0, 0.0)
+        dt = attoseconds_to_au(50.0)
+        wf = wf0
+        for step in range(4):
+            wf, _ = ptcn.step(wf, step * dt, dt)
+        assert electron_number(wf) == pytest.approx(2.0, abs=1e-8)
+
+    def test_field_free_energy_conservation(self, h2_ground_state):
+        """Without a laser, the total energy along a PT-CN trajectory is conserved."""
+        ham, result = h2_ground_state
+        wf0 = result.wavefunction
+        ptcn = PTCNPropagator(ham, scf_tolerance=1e-8, max_scf_iterations=50)
+        ptcn.prepare(wf0, 0.0)
+        dt = attoseconds_to_au(25.0)
+        e0 = ham.total_energy(wf0)
+        wf = wf0
+        for step in range(4):
+            wf, _ = ptcn.step(wf, step * dt, dt)
+        e1 = ham.total_energy(wf)
+        assert abs(e1 - e0) < 5e-5
+
+    def test_stationary_state_remains_stationary(self, h2_ground_state):
+        """The ground state is a fixed point of the PT dynamics (up to a phase that
+        the PT gauge removes): the density matrix must not move."""
+        ham, result = h2_ground_state
+        wf0 = result.wavefunction
+        ptcn = PTCNPropagator(ham, scf_tolerance=1e-8, max_scf_iterations=50)
+        ptcn.prepare(wf0, 0.0)
+        dt = attoseconds_to_au(50.0)
+        wf, _ = ptcn.step(wf0, 0.0, dt)
+        assert density_matrix_distance(wf.coefficients, wf0.coefficients) < 5e-3
+
+    def test_agrees_with_rk4_on_observables(self, propagation_setup):
+        """PT-CN at 10 as and RK4 at 1 as must give the same density/dipole after 20 as:
+        the gauge differs, the physics does not."""
+        ham, wf0 = propagation_setup
+        total_time = attoseconds_to_au(20.0)
+
+        ptcn = PTCNPropagator(ham, scf_tolerance=1e-8, max_scf_iterations=50)
+        ptcn.prepare(wf0, 0.0)
+        dt_pt = attoseconds_to_au(10.0)
+        wf_pt = wf0
+        for step in range(2):
+            wf_pt, _ = ptcn.step(wf_pt, step * dt_pt, dt_pt)
+
+        rk4 = RK4Propagator(ham)
+        rk4.prepare(wf0, 0.0)
+        dt_rk = attoseconds_to_au(1.0)
+        wf_rk = wf0
+        for step in range(20):
+            wf_rk, _ = rk4.step(wf_rk, step * dt_rk, dt_rk)
+
+        rho_pt = compute_density(wf_pt)
+        rho_rk = compute_density(wf_rk)
+        scale = np.max(np.abs(rho_rk))
+        assert np.max(np.abs(rho_pt - rho_rk)) / scale < 2e-3
+        d_pt = dipole_moment(wf_pt)
+        d_rk = dipole_moment(wf_rk)
+        assert np.max(np.abs(d_pt - d_rk)) < 2e-3
+
+    def test_invalid_tolerance(self, propagation_setup):
+        ham, _ = propagation_setup
+        with pytest.raises(ValueError):
+            PTCNPropagator(ham, scf_tolerance=0.0)
+
+    def test_counts_hamiltonian_applications(self, propagation_setup):
+        ham, wf0 = propagation_setup
+        ptcn = PTCNPropagator(ham, scf_tolerance=1e-6, max_scf_iterations=30)
+        ptcn.prepare(wf0, 0.0)
+        wf, stats = ptcn.step(wf0, 0.0, attoseconds_to_au(50.0))
+        # one application for R_n plus one per SCF iteration
+        assert stats.hamiltonian_applications == stats.scf_iterations + 1
+
+
+class TestCrankNicolsonAblation:
+    def test_cn_is_ptcn_without_projection(self, propagation_setup):
+        ham, wf0 = propagation_setup
+        cn = CrankNicolsonPropagator(ham)
+        assert cn.parallel_transport is False
+        assert isinstance(cn, PTCNPropagator)
+
+    def test_ptcn_converges_faster_than_cn_at_large_step(self, propagation_setup):
+        """At a 50 as step the PT gauge needs fewer (or at worst equal) SCF iterations
+        than the Schrödinger gauge — the orbital dynamics are slower by design."""
+        ham, wf0 = propagation_setup
+        dt = attoseconds_to_au(50.0)
+
+        ptcn = PTCNPropagator(ham, scf_tolerance=1e-6, max_scf_iterations=60)
+        ptcn.prepare(wf0, 0.0)
+        _, stats_pt = ptcn.step(wf0, 0.0, dt)
+
+        cn = CrankNicolsonPropagator(ham, scf_tolerance=1e-6, max_scf_iterations=60)
+        cn.prepare(wf0, 0.0)
+        _, stats_cn = cn.step(wf0, 0.0, dt)
+
+        assert stats_pt.scf_iterations <= stats_cn.scf_iterations
+
+
+class TestETRS:
+    def test_single_step_norm(self, propagation_setup):
+        ham, wf0 = propagation_setup
+        etrs = ETRSPropagator(ham, taylor_order=4)
+        etrs.prepare(wf0, 0.0)
+        wf, stats = etrs.step(wf0, 0.0, attoseconds_to_au(2.0))
+        assert stats.hamiltonian_applications == 12
+        assert np.max(np.abs(wf.norms() - 1.0)) < 1e-6
+
+    def test_matches_rk4_small_step(self, propagation_setup):
+        ham, wf0 = propagation_setup
+        dt = attoseconds_to_au(1.0)
+        etrs = ETRSPropagator(ham)
+        etrs.prepare(wf0, 0.0)
+        wf_e, _ = etrs.step(wf0, 0.0, dt)
+        rk4 = RK4Propagator(ham)
+        rk4.prepare(wf0, 0.0)
+        wf_r, _ = rk4.step(wf0, 0.0, dt)
+        assert density_matrix_distance(wf_e.coefficients, wf_r.coefficients) < 1e-5
+
+    def test_invalid_order(self, propagation_setup):
+        ham, _ = propagation_setup
+        with pytest.raises(ValueError):
+            ETRSPropagator(ham, taylor_order=0)

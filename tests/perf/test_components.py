@@ -1,0 +1,125 @@
+"""Tests of the performance model against the paper's Table 1 / Table 2."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    CPU_BASELINE_TIME_S,
+    TABLE1,
+    TABLE1_GPU_COUNTS,
+    TABLE2,
+    compare_series,
+    geometric_mean_ratio,
+)
+from repro.perf import PWDFTPerformanceModel, SiliconWorkload
+
+
+@pytest.fixture(scope="module")
+def model():
+    return PWDFTPerformanceModel(SiliconWorkload.from_atom_count(1536))
+
+
+class TestAnchors:
+    def test_cpu_baseline_matches_paper(self, model):
+        assert model.cpu_step_time(3072) == pytest.approx(CPU_BASELINE_TIME_S, rel=0.05)
+
+    def test_36_gpu_column_matches_table1(self, model):
+        """The calibration anchor: every component within 40 % of the paper at 36 GPUs."""
+        scf = model.scf_component_times(36).as_dict()
+        for key in ("fock_compute", "fock_total", "hpsi_total", "residual_total",
+                    "anderson_total", "density_total", "others", "per_scf_total"):
+            assert scf[key] == pytest.approx(TABLE1[key][0], rel=0.4), key
+
+    def test_total_step_time_all_columns(self, model):
+        """Total per-step times within 35 % of Table 1 across the full GPU range."""
+        for i, n in enumerate(TABLE1_GPU_COUNTS):
+            total = model.step_breakdown(n).total_step_time
+            assert total == pytest.approx(TABLE1["total_step_time"][i], rel=0.35), n
+
+    def test_unbiased_overall(self, model):
+        """Geometric-mean model/paper ratio of the per-step totals is within 15 %."""
+        totals = [model.step_breakdown(n).total_step_time for n in TABLE1_GPU_COUNTS]
+        rows = compare_series(list(TABLE1_GPU_COUNTS), list(TABLE1["total_step_time"]), totals)
+        assert 0.85 < geometric_mean_ratio(rows) < 1.15
+
+
+class TestScalingShapes:
+    def test_fock_compute_scales_inversely(self, model):
+        t36 = model.fock_compute_time(36)
+        t768 = model.fock_compute_time(768)
+        assert 15 < t36 / t768 < 25  # paper: 90.99 / 4.38 = 20.8
+
+    def test_fock_mpi_grows_with_gpus(self, model):
+        """Visible broadcast time grows once compute can no longer hide it."""
+        visible = [model.fock_mpi_visible_time(n) for n in (36, 768, 3072)]
+        assert visible[0] < visible[1] < visible[2]
+
+    def test_hpsi_fraction_decreases_then_flattens(self, model):
+        p36 = model.step_breakdown(36).hpsi_percentage
+        p768 = model.step_breakdown(768).hpsi_percentage
+        assert 85 < p36 < 95
+        assert 70 < p768 < 80
+
+    def test_speedup_saturates(self, model):
+        s = [model.step_breakdown(n).speedup for n in TABLE1_GPU_COUNTS]
+        assert s[0] < s[5]
+        assert abs(s[7] - s[5]) / s[5] < 0.25  # little gain beyond 768 GPUs
+
+    def test_time_to_solution_768(self, model):
+        """~260 s per 50 as step and ~1.5 hours per femtosecond on 768 GPUs."""
+        b = model.step_breakdown(768)
+        assert b.total_step_time == pytest.approx(260.0, rel=0.2)
+        assert b.hours_per_femtosecond == pytest.approx(1.5, rel=0.25)
+
+    def test_anderson_and_density_scale(self, model):
+        s36 = model.scf_component_times(36)
+        s768 = model.scf_component_times(768)
+        assert s36.anderson_total / s768.anderson_total > 10
+        assert s36.density_compute / s768.density_compute > 10
+
+    def test_gpu_count_validation(self, model):
+        with pytest.raises(ValueError):
+            model.scf_component_times(5000)
+
+
+class TestTable2:
+    def test_bcast_dominates_at_scale(self, model):
+        cb = model.communication_breakdown(1536)
+        assert cb.bcast > cb.allreduce
+        assert cb.bcast > cb.alltoallv
+        assert cb.bcast > cb.memcpy
+
+    def test_memcpy_shrinks_with_gpus(self, model):
+        assert model.communication_breakdown(36).memcpy > 5 * model.communication_breakdown(768).memcpy
+
+    def test_mpi_total_within_factor_of_paper(self, model):
+        """The per-step MPI total tracks Table 2 within a factor of ~3 at every
+        GPU count (the visible-broadcast overlap model is the coarsest part of
+        the model, see EXPERIMENTS.md), and never inverts the trend."""
+        for i, n in enumerate(TABLE1_GPU_COUNTS):
+            cb = model.communication_breakdown(n)
+            ratio = cb.mpi_total / TABLE2["mpi_total"][i]
+            assert 1.0 / 3.0 < ratio < 3.0, n
+        assert model.communication_breakdown(3072).mpi_total > model.communication_breakdown(36).mpi_total
+
+    def test_compute_column_close_to_paper(self, model):
+        for i, n in enumerate(TABLE1_GPU_COUNTS):
+            cb = model.communication_breakdown(n)
+            assert cb.compute == pytest.approx(TABLE2["compute"][i], rel=0.35), n
+
+    def test_breakdown_sums_to_total(self, model):
+        cb = model.communication_breakdown(288)
+        assert cb.total == pytest.approx(model.step_breakdown(288).total_step_time, rel=1e-6)
+
+
+class TestRK4Comparison:
+    def test_speedup_range_matches_fig6(self, model):
+        """PT-CN is 15-35x faster than RK4 for the same simulated window."""
+        for n, low, high in ((36, 14.0, 25.0), (768, 25.0, 35.0)):
+            ratio = model.rk4_time_per_window(n) / model.ptcn_time_per_window(n)
+            assert low < ratio < high, n
+
+    def test_speedup_increases_with_gpus(self, model):
+        r36 = model.rk4_time_per_window(36) / model.ptcn_time_per_window(36)
+        r768 = model.rk4_time_per_window(768) / model.ptcn_time_per_window(768)
+        assert r768 > r36

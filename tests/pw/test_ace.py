@@ -1,0 +1,79 @@
+"""Tests for the adaptively compressed exchange (ACE) extension."""
+
+import numpy as np
+import pytest
+
+from repro.pw import ExchangeOperator, Wavefunction
+from repro.pw.ace import ACEExchangeOperator
+
+
+@pytest.fixture()
+def orbitals(h2_basis, rng):
+    return Wavefunction.random(h2_basis, 3, rng=rng)
+
+
+@pytest.fixture()
+def exact(h2_basis):
+    return ExchangeOperator(h2_basis, mixing_fraction=0.25, screening_length=None)
+
+
+@pytest.fixture()
+def ace(exact, orbitals):
+    operator = ACEExchangeOperator(exact)
+    operator.compress(orbitals)
+    return operator
+
+
+class TestCompression:
+    def test_requires_compress_before_apply(self, exact, orbitals):
+        op = ACEExchangeOperator(exact)
+        assert not op.is_compressed
+        with pytest.raises(RuntimeError):
+            op.apply(orbitals.coefficients)
+        with pytest.raises(RuntimeError):
+            _ = op.projectors
+
+    def test_rank_equals_band_count(self, ace, orbitals):
+        assert ace.rank == orbitals.nbands
+        assert ace.projectors.shape == (orbitals.nbands, orbitals.npw)
+
+
+class TestExactnessOnOccupiedSpace:
+    def test_matches_exact_operator_on_defining_orbitals(self, ace, exact, orbitals):
+        """The ACE operator is exact on the span of the orbitals it was built from."""
+        reference = exact.apply(orbitals.coefficients)
+        compressed = ace.apply(orbitals.coefficients)
+        assert np.allclose(compressed, reference, atol=1e-8)
+
+    def test_matches_on_linear_combinations(self, ace, exact, orbitals, rng):
+        mix = rng.standard_normal((2, orbitals.nbands)) + 1j * rng.standard_normal((2, orbitals.nbands))
+        combo = mix @ orbitals.coefficients
+        assert np.allclose(ace.apply(combo), exact.apply(combo), atol=1e-8)
+
+    def test_energy_matches_exact(self, ace, exact, orbitals):
+        assert ace.energy(orbitals) == pytest.approx(exact.energy(orbitals), abs=1e-8)
+
+    def test_single_vector_input(self, ace, orbitals):
+        out = ace.apply(orbitals.coefficients[0])
+        assert out.shape == (orbitals.npw,)
+
+
+class TestOperatorProperties:
+    def test_hermitian(self, ace, h2_basis, rng):
+        a = Wavefunction.random(h2_basis, 1, rng=rng).coefficients[0]
+        b = Wavefunction.random(h2_basis, 1, rng=rng).coefficients[0]
+        lhs = np.vdot(a, ace.apply(b))
+        rhs = np.vdot(ace.apply(a), b)
+        assert lhs == pytest.approx(rhs, abs=1e-10)
+
+    def test_negative_semidefinite(self, ace, h2_basis, rng):
+        for seed in range(3):
+            v = Wavefunction.random(h2_basis, 1, rng=np.random.default_rng(seed)).coefficients[0]
+            expectation = np.real(np.vdot(v, ace.apply(v)))
+            assert expectation <= 1e-10
+
+    def test_cheaper_than_exact(self, ace, exact, orbitals):
+        """After compression, applying ACE performs no Poisson solves at all."""
+        exact.counters.reset()
+        ace.apply(orbitals.coefficients)
+        assert exact.counters.poisson_solves == 0

@@ -1,0 +1,98 @@
+"""Tests for electron density evaluation and mixing."""
+
+import numpy as np
+import pytest
+
+from repro.pw import FFTGrid, PlaneWaveBasis, Wavefunction, compute_density, density_error
+from repro.pw.density import DensityMixer
+from repro.pw.lattice import Cell
+
+
+class TestComputeDensity:
+    def test_density_nonnegative(self, h2_basis, rng):
+        wf = Wavefunction.random(h2_basis, 3, rng=rng)
+        rho = compute_density(wf)
+        assert np.all(rho >= -1e-14)
+
+    def test_density_integrates_to_electron_count(self, h2_basis, rng):
+        wf = Wavefunction.random(h2_basis, 3, rng=rng)
+        rho = compute_density(wf)
+        n = np.sum(rho) * h2_basis.grid.volume_element
+        assert n == pytest.approx(np.sum(wf.occupations), rel=1e-10)
+
+    def test_occupation_weighting(self, h2_basis, rng):
+        wf = Wavefunction.random(h2_basis, 2, rng=rng, occupations=np.array([2.0, 0.0]))
+        rho = compute_density(wf)
+        n = np.sum(rho) * h2_basis.grid.volume_element
+        assert n == pytest.approx(2.0, rel=1e-10)
+
+    def test_density_gauge_invariant(self, h2_basis, rng):
+        """A unitary rotation of the orbitals leaves the density unchanged."""
+        wf = Wavefunction.random(h2_basis, 3, rng=rng)
+        a = rng.standard_normal((3, 3)) + 1j * rng.standard_normal((3, 3))
+        q, _ = np.linalg.qr(a)
+        rho1 = compute_density(wf)
+        rho2 = compute_density(wf.rotate(q))
+        assert np.allclose(rho1, rho2, atol=1e-10)
+
+    def test_density_on_denser_grid(self, h2_basis, rng):
+        wf = Wavefunction.random(h2_basis, 2, rng=rng)
+        fine_shape = tuple(2 * n for n in h2_basis.grid.shape)
+        fine_grid = FFTGrid(h2_basis.grid.cell, fine_shape)
+        rho = compute_density(wf, fine_grid)
+        assert rho.shape == fine_shape
+        n = np.sum(rho) * fine_grid.volume_element
+        assert n == pytest.approx(np.sum(wf.occupations), rel=1e-8)
+
+    def test_dense_grid_must_be_finer(self, h2_basis, rng):
+        wf = Wavefunction.random(h2_basis, 1, rng=rng)
+        coarse = FFTGrid(h2_basis.grid.cell, (4, 4, 4))
+        with pytest.raises(ValueError):
+            compute_density(wf, coarse)
+
+
+class TestDensityError:
+    def test_zero_for_identical(self, h2_basis, rng):
+        wf = Wavefunction.random(h2_basis, 2, rng=rng)
+        rho = compute_density(wf)
+        assert density_error(rho, rho, h2_basis.grid) == 0.0
+
+    def test_positive_for_different(self, h2_basis, rng):
+        wf1 = Wavefunction.random(h2_basis, 2, rng=rng)
+        wf2 = Wavefunction.random(h2_basis, 2, rng=rng)
+        rho1 = compute_density(wf1)
+        rho2 = compute_density(wf2)
+        assert density_error(rho1, rho2, h2_basis.grid) > 0.0
+
+    def test_scales_linearly_with_perturbation(self, h2_basis, rng):
+        wf = Wavefunction.random(h2_basis, 2, rng=rng)
+        rho = compute_density(wf)
+        delta = rng.random(rho.shape)
+        e1 = density_error(rho + 1e-3 * delta, rho, h2_basis.grid)
+        e2 = density_error(rho + 2e-3 * delta, rho, h2_basis.grid)
+        assert e2 == pytest.approx(2.0 * e1, rel=1e-6)
+
+    def test_nonpositive_reference_raises(self, h2_basis):
+        zero = np.zeros(h2_basis.grid.shape)
+        with pytest.raises(ValueError):
+            density_error(zero, zero, h2_basis.grid)
+
+
+class TestDensityMixer:
+    def test_full_mixing_returns_output(self):
+        mixer = DensityMixer(beta=1.0)
+        rho_in = np.zeros((2, 2, 2))
+        rho_out = np.ones((2, 2, 2))
+        assert np.allclose(mixer.mix(rho_in, rho_out), rho_out)
+
+    def test_partial_mixing(self):
+        mixer = DensityMixer(beta=0.25)
+        rho_in = np.zeros(5)
+        rho_out = np.ones(5)
+        assert np.allclose(mixer.mix(rho_in, rho_out), 0.25)
+
+    def test_invalid_beta(self):
+        with pytest.raises(ValueError):
+            DensityMixer(beta=0.0)
+        with pytest.raises(ValueError):
+            DensityMixer(beta=1.5)

@@ -1,0 +1,96 @@
+"""Tests for the block Davidson and dense eigensolvers."""
+
+import numpy as np
+import pytest
+
+from repro.pw.eigensolver import block_davidson, dense_eigensolve
+
+
+def make_hermitian_operator(n, rng, diagonal_dominance=5.0):
+    """A random Hermitian matrix with a dominant, well-separated diagonal."""
+    a = rng.standard_normal((n, n)) + 1j * rng.standard_normal((n, n))
+    h = 0.5 * (a + a.conj().T)
+    h += np.diag(diagonal_dominance * np.arange(n))
+    return h
+
+
+class TestDenseEigensolve:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        h = make_hermitian_operator(30, rng)
+        result = dense_eigensolve(lambda block: block @ h.T, 30, 5)
+        reference = np.linalg.eigvalsh(h)[:5]
+        assert np.allclose(result.eigenvalues, reference, atol=1e-10)
+
+    def test_eigenvectors_satisfy_equation(self):
+        rng = np.random.default_rng(1)
+        h = make_hermitian_operator(20, rng)
+        result = dense_eigensolve(lambda block: block @ h.T, 20, 3)
+        for k in range(3):
+            v = result.eigenvectors[k]
+            assert np.allclose(h @ v, result.eigenvalues[k] * v, atol=1e-9)
+
+
+class TestBlockDavidson:
+    def test_converges_to_lowest_eigenvalues(self):
+        rng = np.random.default_rng(2)
+        n, nbands = 120, 4
+        h = make_hermitian_operator(n, rng)
+        apply_h = lambda block: block @ h.T
+        guess = rng.standard_normal((nbands + 2, n)) + 1j * rng.standard_normal((nbands + 2, n))
+        precond = 1.0 / (np.abs(np.diag(h).real) + 1.0)
+        result = block_davidson(apply_h, guess, nbands, preconditioner=precond, tolerance=1e-8, max_iterations=200)
+        reference = np.linalg.eigvalsh(h)[:nbands]
+        assert result.converged
+        assert np.allclose(result.eigenvalues, reference, atol=1e-6)
+
+    def test_eigenvectors_orthonormal(self):
+        rng = np.random.default_rng(3)
+        n, nbands = 80, 3
+        h = make_hermitian_operator(n, rng)
+        guess = rng.standard_normal((nbands, n)) + 1j * rng.standard_normal((nbands, n))
+        result = block_davidson(lambda b: b @ h.T, guess, nbands, tolerance=1e-8, max_iterations=200)
+        overlap = result.eigenvectors.conj() @ result.eigenvectors.T
+        assert np.allclose(overlap, np.eye(nbands), atol=1e-8)
+
+    def test_residual_norms_reported(self):
+        rng = np.random.default_rng(4)
+        n, nbands = 60, 2
+        h = make_hermitian_operator(n, rng)
+        guess = rng.standard_normal((nbands, n)) + 1j * rng.standard_normal((nbands, n))
+        result = block_davidson(lambda b: b @ h.T, guess, nbands, tolerance=1e-9, max_iterations=200)
+        for k in range(nbands):
+            v = result.eigenvectors[k]
+            residual = np.linalg.norm(h @ v - result.eigenvalues[k] * v)
+            assert residual < 1e-6
+
+    def test_degenerate_eigenvalues(self):
+        """Davidson must resolve a doubly degenerate lowest eigenvalue."""
+        rng = np.random.default_rng(5)
+        n = 50
+        h = make_hermitian_operator(n, rng, diagonal_dominance=3.0)
+        # force degeneracy of the two lowest states
+        w, v = np.linalg.eigh(h)
+        w[1] = w[0]
+        h = (v * w) @ v.conj().T
+        guess = rng.standard_normal((4, n)) + 1j * rng.standard_normal((4, n))
+        result = block_davidson(lambda b: b @ h.T, guess, 2, tolerance=1e-8, max_iterations=300)
+        assert np.allclose(result.eigenvalues, [w[0], w[0]], atol=1e-5)
+
+    def test_insufficient_guess_raises(self):
+        with pytest.raises(ValueError):
+            block_davidson(lambda b: b, np.zeros((1, 10), dtype=complex), 3)
+
+    def test_on_physical_hamiltonian(self, lda_hamiltonian, h2_basis, rng):
+        """Davidson on the real LDA Hamiltonian matches the dense reference."""
+        from repro.pw import Wavefunction
+
+        wf = Wavefunction.random(h2_basis, 2, rng=rng)
+        lda_hamiltonian.update_potential(wf)
+        apply_h = lambda block: lda_hamiltonian.apply(block)
+        dense = dense_eigensolve(apply_h, h2_basis.npw, 2)
+        guess = Wavefunction.random(h2_basis, 4, rng=rng).coefficients
+        davidson = block_davidson(
+            apply_h, guess, 2, preconditioner=lda_hamiltonian.preconditioner(), tolerance=1e-7, max_iterations=120
+        )
+        assert np.allclose(davidson.eigenvalues, dense.eigenvalues, atol=1e-5)

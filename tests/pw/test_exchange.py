@@ -1,0 +1,138 @@
+"""Tests for the serial Fock exchange operator (Eq. 3 of the paper)."""
+
+import numpy as np
+import pytest
+
+from repro.pw import ExchangeOperator, Wavefunction
+from repro.pw.poisson import bare_coulomb_kernel
+
+
+@pytest.fixture()
+def operator(h2_basis):
+    return ExchangeOperator(h2_basis, mixing_fraction=0.25, screening_length=None)
+
+
+@pytest.fixture()
+def orbitals(h2_basis, rng):
+    return Wavefunction.random(h2_basis, 3, rng=rng)
+
+
+class TestSetup:
+    def test_requires_orbitals(self, operator, orbitals):
+        with pytest.raises(RuntimeError, match="set_orbitals"):
+            operator.apply(orbitals.coefficients)
+
+    def test_zero_mixing_short_circuit(self, h2_basis, orbitals):
+        op = ExchangeOperator(h2_basis, mixing_fraction=0.0)
+        out = op.apply(orbitals.coefficients)
+        assert np.allclose(out, 0.0)
+
+    def test_negative_mixing_rejected(self, h2_basis):
+        with pytest.raises(ValueError):
+            ExchangeOperator(h2_basis, mixing_fraction=-0.1)
+
+    def test_screened_kernel_selected(self, h2_basis):
+        op = ExchangeOperator(h2_basis, screening_length=0.3)
+        assert op.kernel.name == "erfc-screened"
+        op2 = ExchangeOperator(h2_basis)
+        assert op2.kernel.name == "bare"
+
+
+class TestOperatorProperties:
+    def test_hermiticity(self, operator, orbitals, h2_basis, rng):
+        operator.set_orbitals(orbitals)
+        a = Wavefunction.random(h2_basis, 1, rng=rng).coefficients[0]
+        b = Wavefunction.random(h2_basis, 1, rng=rng).coefficients[0]
+        lhs = np.vdot(a, operator.apply(b[None, :])[0])
+        rhs = np.vdot(operator.apply(a[None, :])[0], b)
+        assert lhs == pytest.approx(rhs, abs=1e-10)
+
+    def test_linearity(self, operator, orbitals, h2_basis, rng):
+        operator.set_orbitals(orbitals)
+        a = Wavefunction.random(h2_basis, 1, rng=rng).coefficients
+        b = Wavefunction.random(h2_basis, 1, rng=rng).coefficients
+        combined = operator.apply(2.0 * a + 3.0 * b)
+        separate = 2.0 * operator.apply(a) + 3.0 * operator.apply(b)
+        assert np.allclose(combined, separate, atol=1e-10)
+
+    def test_negative_semidefinite_expectation(self, operator, orbitals):
+        """<psi|V_X|psi> <= 0 for orbitals in the occupied space (exchange lowers energy)."""
+        operator.set_orbitals(orbitals)
+        vx = operator.apply(orbitals.coefficients)
+        expectations = np.real(np.einsum("ng,ng->n", orbitals.coefficients.conj(), vx))
+        assert np.all(expectations <= 1e-12)
+
+    def test_scales_linearly_with_mixing_fraction(self, h2_basis, orbitals):
+        op1 = ExchangeOperator(h2_basis, mixing_fraction=0.25)
+        op2 = ExchangeOperator(h2_basis, mixing_fraction=0.5)
+        op1.set_orbitals(orbitals)
+        op2.set_orbitals(orbitals)
+        out1 = op1.apply(orbitals.coefficients)
+        out2 = op2.apply(orbitals.coefficients)
+        assert np.allclose(out2, 2.0 * out1, atol=1e-12)
+
+    def test_shorter_screening_range_gives_weaker_exchange(self, h2_basis, orbitals):
+        """A larger screening parameter mu makes erfc(mu r)/r shorter ranged, so the
+        exchange energy magnitude must decrease monotonically with mu.
+
+        (The bare kernel is not directly comparable here because its divergent
+        G=0 component is removed, whereas the screened kernel's G=0 value
+        pi/mu^2 is finite and retained.)
+        """
+        energies = []
+        for mu in (0.3, 0.6, 1.2):
+            op = ExchangeOperator(h2_basis, mixing_fraction=0.25, screening_length=mu)
+            op.set_orbitals(orbitals)
+            energies.append(op.energy(orbitals))
+        assert all(e <= 0.0 for e in energies)
+        assert energies[0] < energies[1] < energies[2]
+
+    def test_single_band_input(self, operator, orbitals):
+        operator.set_orbitals(orbitals)
+        out = operator.apply(orbitals.coefficients[0])
+        assert out.shape == (1, orbitals.npw)
+
+    def test_gauge_invariance(self, operator, h2_basis, orbitals, rng):
+        """V_X depends only on the density matrix: rotating the exchange orbitals
+        by a unitary leaves the operator action unchanged."""
+        target = Wavefunction.random(h2_basis, 2, rng=rng)
+        operator.set_orbitals(orbitals)
+        out1 = operator.apply(target.coefficients)
+        n = orbitals.nbands
+        q, _ = np.linalg.qr(rng.standard_normal((n, n)) + 1j * rng.standard_normal((n, n)))
+        operator.set_orbitals(orbitals.rotate(q))
+        out2 = operator.apply(target.coefficients)
+        assert np.allclose(out1, out2, atol=1e-10)
+
+
+class TestEnergyAndCounters:
+    def test_energy_negative(self, operator, orbitals):
+        assert operator.energy(orbitals) < 0.0
+
+    def test_energy_restores_previous_orbitals(self, operator, orbitals, h2_basis, rng):
+        other = Wavefunction.random(h2_basis, 2, rng=rng)
+        operator.set_orbitals(other)
+        before = operator._orbitals_real.copy()
+        operator.energy(orbitals)
+        assert np.allclose(operator._orbitals_real, before)
+
+    def test_poisson_solve_count(self, operator, orbitals):
+        """One application pairs every exchange orbital with every target band."""
+        operator.set_orbitals(orbitals)
+        operator.counters.reset()
+        operator.apply(orbitals.coefficients)
+        assert operator.counters.poisson_solves == orbitals.nbands**2
+        assert operator.counters.applications == 1
+
+    def test_expected_poisson_solves(self, operator, orbitals):
+        operator.set_orbitals(orbitals)
+        assert operator.expected_poisson_solves(5) == orbitals.nbands * 5
+
+    def test_zero_occupation_orbital_skipped(self, h2_basis, rng):
+        op = ExchangeOperator(h2_basis, mixing_fraction=0.25)
+        occ = np.array([2.0, 0.0])
+        wf = Wavefunction.random(h2_basis, 2, rng=rng, occupations=occ)
+        op.set_orbitals(wf)
+        op.counters.reset()
+        op.apply(wf.coefficients)
+        assert op.counters.poisson_solves == 1 * 2  # only the occupied orbital pairs

@@ -1,0 +1,86 @@
+"""Tests for the ground-state SCF solver."""
+
+import numpy as np
+import pytest
+
+from repro.pw import GroundStateSolver, Hamiltonian, Wavefunction, compute_density
+
+
+class TestLDAGroundState:
+    def test_h2_converges(self, h2_basis, h2_structure):
+        ham = Hamiltonian(h2_basis, h2_structure, hybrid_mixing=0.0)
+        solver = GroundStateSolver(ham, scf_tolerance=1e-6, max_scf_iterations=40)
+        result = solver.solve()
+        assert result.converged
+        assert result.scf_iterations < 40
+
+    def test_h2_energy_reasonable(self, h2_basis, h2_structure):
+        """H2 total energy should be around -1 Ha (coarse basis, model psp)."""
+        ham = Hamiltonian(h2_basis, h2_structure, hybrid_mixing=0.0)
+        result = GroundStateSolver(ham, scf_tolerance=1e-6).solve()
+        assert -1.6 < result.total_energy < -0.6
+
+    def test_occupied_eigenvalue_negative(self, h2_basis, h2_structure):
+        ham = Hamiltonian(h2_basis, h2_structure, hybrid_mixing=0.0)
+        result = GroundStateSolver(ham, scf_tolerance=1e-6).solve()
+        assert result.eigenvalues[0] < 0.0
+
+    def test_orbitals_orthonormal(self, chain_ground_state):
+        _, result = chain_ground_state
+        assert result.wavefunction.is_orthonormal(tol=1e-6)
+
+    def test_density_integrates_to_electrons(self, chain_ground_state, chain_basis):
+        ham, result = chain_ground_state
+        rho = compute_density(result.wavefunction)
+        n = np.sum(rho) * chain_basis.grid.volume_element
+        assert n == pytest.approx(ham.n_electrons, rel=1e-8)
+
+    def test_density_errors_decrease(self, chain_ground_state):
+        _, result = chain_ground_state
+        errors = result.density_errors
+        assert errors[-1] < errors[0]
+
+    def test_aufbau_ordering(self, chain_ground_state):
+        _, result = chain_ground_state
+        eig = result.eigenvalues
+        assert np.all(np.diff(eig) >= -1e-8)
+
+
+class TestHybridGroundState:
+    def test_h2_hybrid_converges(self, h2_ground_state):
+        _, result = h2_ground_state
+        assert result.converged
+
+    def test_hybrid_stationarity(self, h2_ground_state):
+        """At the hybrid ground state the PT residual H psi - psi (psi* H psi) is small."""
+        from repro.core.gauge import pt_residual
+
+        ham, result = h2_ground_state
+        ham.update_potential(result.wavefunction)
+        c = result.wavefunction.coefficients
+        hc = ham.apply(c)
+        residual = pt_residual(c, hc)
+        assert np.max(np.abs(residual)) < 5e-4
+
+    def test_exact_exchange_energy_negative(self, h2_ground_state):
+        ham, result = h2_ground_state
+        breakdown = ham.energy(result.wavefunction)
+        assert breakdown.exact_exchange < 0.0
+
+    def test_nbands_override(self, h2_basis, h2_structure):
+        ham = Hamiltonian(h2_basis, h2_structure, hybrid_mixing=0.0)
+        solver = GroundStateSolver(ham, nbands=3, scf_tolerance=1e-5, max_scf_iterations=30)
+        result = solver.solve()
+        assert result.wavefunction.nbands == 3
+
+    def test_invalid_nbands(self, h2_basis, h2_structure):
+        ham = Hamiltonian(h2_basis, h2_structure, hybrid_mixing=0.0)
+        with pytest.raises(ValueError):
+            GroundStateSolver(ham, nbands=0)
+
+    def test_initial_guess_used(self, h2_basis, h2_structure, rng):
+        ham = Hamiltonian(h2_basis, h2_structure, hybrid_mixing=0.0)
+        solver = GroundStateSolver(ham, scf_tolerance=1e-6, max_scf_iterations=40)
+        initial = Wavefunction.random(h2_basis, 1, rng=rng)
+        result = solver.solve(initial=initial)
+        assert result.converged
