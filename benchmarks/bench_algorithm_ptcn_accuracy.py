@@ -7,27 +7,25 @@ paper's silicon supercells) and records accuracy and Fock-application counts.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import format_table
-from repro.constants import attoseconds_to_au
-from repro.core import PTCNPropagator, RK4Propagator, TDDFTSimulation
 from repro.core.observables import dipole_moment
 from repro.pw import compute_density
 
 
-def test_ptcn_accuracy_vs_rk4(benchmark, small_physics_system, report_writer):
-    _, basis, ham, wf0 = small_physics_system
-    window = attoseconds_to_au(40.0)
+def test_ptcn_accuracy_vs_rk4(benchmark, h2_session, report_writer):
+    # converge the shared ground state outside the timed region, as the
+    # pre-migration fixture did, so the benchmark measures propagation only
+    h2_session.ground_state()
 
     def run():
-        ptcn = PTCNPropagator(ham, scf_tolerance=1e-8, max_scf_iterations=50)
-        sim_pt = TDDFTSimulation(ham, ptcn, record_energy=True)
-        traj_pt = sim_pt.run(wf0, attoseconds_to_au(20.0), 2)
-
-        rk4 = RK4Propagator(ham)
-        sim_rk = TDDFTSimulation(ham, rk4, record_energy=True)
-        traj_rk = sim_rk.run(wf0, attoseconds_to_au(1.0), 40)
+        traj_pt = h2_session.propagate(
+            "ptcn",
+            time_step_as=20.0,
+            n_steps=2,
+            params={"scf_tolerance": 1e-8, "max_scf_iterations": 50},
+        )
+        traj_rk = h2_session.propagate("rk4", time_step_as=1.0, n_steps=40)
         return traj_pt, traj_rk
 
     traj_pt, traj_rk = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -10,8 +10,8 @@ same order-of-magnitude advantage.
 import pytest
 
 from repro.analysis import PAPER_SCALARS, format_table
+from repro.api import PROPAGATORS
 from repro.constants import attoseconds_to_au
-from repro.core import PTCNPropagator, RK4Propagator
 from repro.perf import ptcn_vs_rk4
 
 
@@ -29,17 +29,18 @@ def test_fig6_model_si1536(benchmark, report_writer):
     assert speedups[768] > speedups[36]
 
 
-def test_fig6_measured_small_system(benchmark, small_physics_system, report_writer):
+def test_fig6_measured_small_system(benchmark, h2_session, report_writer):
     """Measured Fock-application counts on the real engine for the same window."""
-    _, basis, ham, wf0 = small_physics_system
+    ham = h2_session.hamiltonian
+    wf0 = h2_session.ground_state().wavefunction
     window = attoseconds_to_au(50.0)
 
     def propagate_window():
-        ptcn = PTCNPropagator(ham, scf_tolerance=1e-6, max_scf_iterations=40)
+        ptcn = PROPAGATORS.create("ptcn", ham, scf_tolerance=1e-6, max_scf_iterations=40)
         ptcn.prepare(wf0, 0.0)
         _, pt_stats = ptcn.step(wf0, 0.0, window)
 
-        rk4 = RK4Propagator(ham)
+        rk4 = PROPAGATORS.create("rk4", ham)
         rk4.prepare(wf0, 0.0)
         dt_rk = attoseconds_to_au(2.0)
         n_rk_steps = int(round(window / dt_rk))

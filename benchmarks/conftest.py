@@ -50,26 +50,22 @@ def report_writer(results_dir):
 
 
 @pytest.fixture(scope="session")
-def small_physics_system():
-    """A tiny hybrid-functional H2 system with a converged ground state.
+def h2_session():
+    """A config-driven session for the tiny hybrid-functional H2 system.
 
     Used by the benchmarks that measure the *real* physics engine (PT-CN vs
     RK4 accuracy and cost), as the laptop-scale stand-in for the paper's
-    silicon supercells.
+    silicon supercells. The session caches the converged ground state, so
+    every benchmark that propagates from it shares one SCF.
     """
-    from repro.pw import (
-        FFTGrid,
-        GroundStateSolver,
-        Hamiltonian,
-        PlaneWaveBasis,
-        choose_grid_shape,
-        hydrogen_molecule,
-    )
+    from repro.api import Session, SimulationConfig
 
-    structure = hydrogen_molecule(box=10.0, bond_length=1.4)
-    ecut = 3.0
-    grid = FFTGrid(structure.cell, choose_grid_shape(structure.cell, ecut, factor=1.0))
-    basis = PlaneWaveBasis(grid, ecut)
-    ham = Hamiltonian(basis, structure, hybrid_mixing=0.25, screening_length=None)
-    result = GroundStateSolver(ham, scf_tolerance=1e-7, max_scf_iterations=50).solve()
-    return structure, basis, ham, result.wavefunction
+    config = SimulationConfig.from_dict(
+        {
+            "system": {"structure": "hydrogen_molecule", "params": {"box": 10.0, "bond_length": 1.4}},
+            "basis": {"ecut": 3.0, "grid_factor": 1.0},
+            "xc": {"hybrid_mixing": 0.25, "screening_length": None},
+            "run": {"gs_scf_tolerance": 1e-7, "gs_max_scf_iterations": 50},
+        }
+    )
+    return Session(config)

@@ -8,6 +8,10 @@ integrator at a 20x larger step, then compares the gauge-invariant observables
 quantity that dominates the cost of hybrid-functional rt-TDDFT (Section 1 of
 the paper).
 
+Both integrators run from one shared config/ground state through
+``repro.api.Session``: the session caches the SCF, and each ``propagate``
+call only selects a different registry name and step size.
+
 Usage:
     python examples/pt_vs_rk4.py
 """
@@ -16,59 +20,49 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.constants import attoseconds_to_au
-from repro.core import PTCNPropagator, RK4Propagator, TDDFTSimulation
+from repro.api import SimulationConfig, Session
 from repro.core.observables import dipole_moment
-from repro.pw import (
-    FFTGrid,
-    GaussianLaserPulse,
-    GroundStateSolver,
-    Hamiltonian,
-    PlaneWaveBasis,
-    choose_grid_shape,
-    compute_density,
-    hydrogen_chain,
-)
+from repro.pw import compute_density
 
-
-def build_hamiltonian():
-    structure = hydrogen_chain(n_atoms=4, spacing=2.0, box=7.0)
-    ecut = 2.5
-    grid = FFTGrid(structure.cell, choose_grid_shape(structure.cell, ecut, factor=1.0))
-    basis = PlaneWaveBasis(grid, ecut)
-    pulse = GaussianLaserPulse(
-        amplitude=0.01,
-        omega=0.3,
-        t0=attoseconds_to_au(60.0),
-        sigma=attoseconds_to_au(30.0),
-        polarization=[1, 0, 0],
-        phase=np.pi / 2,
-    )
-    ham = Hamiltonian(
-        basis, structure, hybrid_mixing=0.25, screening_length=None,
-        external_field=pulse.potential_factory(grid),
-    )
-    return structure, basis, ham
+CONFIG = {
+    "system": {"structure": "hydrogen_chain", "params": {"n_atoms": 4, "spacing": 2.0, "box": 7.0}},
+    "basis": {"ecut": 2.5},
+    "xc": {"hybrid_mixing": 0.25, "screening_length": None},
+    "laser": {
+        "pulse": "gaussian",
+        "params": {
+            "amplitude": 0.01,
+            "omega": 0.3,
+            "t0_as": 60.0,
+            "sigma_as": 30.0,
+            "polarization": [1, 0, 0],
+            "phase": np.pi / 2,
+        },
+    },
+    "run": {"gs_scf_tolerance": 1e-7},
+}
 
 
 def main() -> None:
-    structure, basis, ham = build_hamiltonian()
-    print(f"System: {structure.name}, {structure.n_occupied_bands()} occupied bands, {basis.npw} plane waves")
-    gs = GroundStateSolver(ham, scf_tolerance=1e-7).solve()
+    session = Session(SimulationConfig.from_dict(CONFIG))
+    structure, basis = session.structure, session.basis
+    print(
+        f"System: {structure.name}, {structure.n_occupied_bands()} occupied bands, "
+        f"{basis.npw} plane waves"
+    )
+    gs = session.ground_state()
     print(f"Hybrid ground state energy: {gs.total_energy:.6f} Ha (converged={gs.converged})")
 
     window_as = 60.0
-    runs = {}
-
-    rk4 = RK4Propagator(ham)
-    sim = TDDFTSimulation(ham, rk4)
-    dt_rk = attoseconds_to_au(1.0)
-    runs["RK4 @ 1 as"] = sim.run(gs.wavefunction, dt_rk, int(window_as / 1.0))
-
-    ptcn = PTCNPropagator(ham, scf_tolerance=1e-7, max_scf_iterations=40)
-    sim = TDDFTSimulation(ham, ptcn)
-    dt_pt = attoseconds_to_au(20.0)
-    runs["PT-CN @ 20 as"] = sim.run(gs.wavefunction, dt_pt, int(window_as / 20.0))
+    runs = {
+        "RK4 @ 1 as": session.propagate("rk4", time_step_as=1.0, n_steps=int(window_as / 1.0)),
+        "PT-CN @ 20 as": session.propagate(
+            "ptcn",
+            time_step_as=20.0,
+            n_steps=int(window_as / 20.0),
+            params={"scf_tolerance": 1e-7, "max_scf_iterations": 40},
+        ),
+    }
 
     reference = runs["RK4 @ 1 as"]
     rho_ref = compute_density(reference.final_wavefunction)

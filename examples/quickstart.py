@@ -8,58 +8,109 @@ propagator at a 50 attosecond time step — the step size the paper uses for its
 
 Usage:
     python examples/quickstart.py
+
+Two ways to drive a simulation
+------------------------------
+
+**Config-driven (recommended).** The whole run is one JSON-able dict; this is
+what this script does, and what batch/serving workloads should use::
+
+    from repro.api import SimulationConfig, Session, run_tddft
+
+    config = SimulationConfig.from_dict({
+        "system": {"structure": "hydrogen_molecule",
+                   "params": {"box": 10.0, "bond_length": 1.4}},
+        "basis": {"ecut": 3.0, "grid_factor": 1.0},
+        "xc": {"hybrid_mixing": 0.25, "screening_length": None},
+        "laser": {"pulse": "gaussian",
+                  "params": {"amplitude": 0.005, "omega": 0.35,
+                             "t0_as": 150.0, "sigma_as": 60.0,
+                             "polarization": [1.0, 0.0, 0.0]}},
+        "propagator": {"name": "ptcn",
+                       "params": {"scf_tolerance": 1e-6,
+                                  "max_scf_iterations": 30}},
+        "run": {"time_step_as": 50.0, "n_steps": 8,
+                "gs_scf_tolerance": 1e-7},
+    })
+    trajectory = run_tddft(config)          # one call, or:
+    session = Session(config)               # step-by-step with caching
+    ground_state = session.ground_state()
+    trajectory = session.propagate()
+
+**Explicit (the layers underneath).** The same run, hand-wired — every object
+the config resolves to remains public API::
+
+    from repro.constants import attoseconds_to_au
+    from repro.core import PTCNPropagator, TDDFTSimulation
+    from repro.pw import (FFTGrid, GaussianLaserPulse, GroundStateSolver,
+                          Hamiltonian, PlaneWaveBasis, choose_grid_shape,
+                          hydrogen_molecule)
+
+    structure = hydrogen_molecule(box=10.0, bond_length=1.4)
+    grid = FFTGrid(structure.cell, choose_grid_shape(structure.cell, 3.0, factor=1.0))
+    basis = PlaneWaveBasis(grid, 3.0)
+    pulse = GaussianLaserPulse(amplitude=0.005, omega=0.35,
+                               t0=attoseconds_to_au(150.0),
+                               sigma=attoseconds_to_au(60.0),
+                               polarization=[1.0, 0.0, 0.0])
+    hamiltonian = Hamiltonian(basis, structure, hybrid_mixing=0.25,
+                              screening_length=None,
+                              external_field=pulse.potential_factory(grid))
+    ground_state = GroundStateSolver(hamiltonian, scf_tolerance=1e-7).solve()
+    propagator = PTCNPropagator(hamiltonian, scf_tolerance=1e-6,
+                                max_scf_iterations=30)
+    simulation = TDDFTSimulation(hamiltonian, propagator)
+    trajectory = simulation.run(ground_state.wavefunction,
+                                attoseconds_to_au(50.0), n_steps=8)
+
+The two paths produce identical trajectories (to machine precision) — the
+config layer only removes the wiring, not the physics.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from repro.api import SimulationConfig, Session
+from repro.constants import au_to_attoseconds
 
-from repro.constants import attoseconds_to_au, au_to_attoseconds
-from repro.core import PTCNPropagator, TDDFTSimulation
-from repro.pw import (
-    FFTGrid,
-    GaussianLaserPulse,
-    GroundStateSolver,
-    Hamiltonian,
-    PlaneWaveBasis,
-    choose_grid_shape,
-    hydrogen_molecule,
-)
+#: The full simulation, declaratively. ``SimulationConfig.from_dict`` validates
+#: every field and resolves the registry names with actionable errors.
+CONFIG = {
+    "system": {"structure": "hydrogen_molecule", "params": {"box": 10.0, "bond_length": 1.4}},
+    "basis": {"ecut": 3.0, "grid_factor": 1.0},  # tiny cutoff, demonstration system
+    "xc": {"hybrid_mixing": 0.25, "screening_length": None},  # PBE0-style bare Fock exchange
+    "laser": {
+        "pulse": "gaussian",  # length gauge, polarised along the bond
+        "params": {
+            "amplitude": 0.005,
+            "omega": 0.35,
+            "t0_as": 150.0,
+            "sigma_as": 60.0,
+            "polarization": [1.0, 0.0, 0.0],
+        },
+    },
+    "propagator": {"name": "ptcn", "params": {"scf_tolerance": 1e-6, "max_scf_iterations": 30}},
+    "run": {"time_step_as": 50.0, "n_steps": 8, "gs_scf_tolerance": 1e-7},
+}
 
 
 def main() -> None:
-    # 1. Structure and plane-wave basis ------------------------------------
-    structure = hydrogen_molecule(box=10.0, bond_length=1.4)
-    ecut = 3.0  # Hartree; tiny, this is a demonstration system
-    grid = FFTGrid(structure.cell, choose_grid_shape(structure.cell, ecut, factor=1.0))
-    basis = PlaneWaveBasis(grid, ecut)
-    print(f"System: {structure.name}, {basis.npw} plane waves, grid {grid.shape}")
+    session = Session(SimulationConfig.from_dict(CONFIG))
 
-    # 2. Laser pulse (length gauge, polarised along the bond) ---------------
-    pulse = GaussianLaserPulse(
-        amplitude=0.005, omega=0.35, t0=attoseconds_to_au(150.0), sigma=attoseconds_to_au(60.0),
-        polarization=[1.0, 0.0, 0.0],
+    # 1. Structure and plane-wave basis (built lazily by the session) --------
+    print(
+        f"System: {session.structure.name}, {session.basis.npw} plane waves, "
+        f"grid {session.grid.shape}"
     )
 
-    # 3. Hybrid-functional Hamiltonian and ground state ---------------------
-    hamiltonian = Hamiltonian(
-        basis,
-        structure,
-        hybrid_mixing=0.25,            # PBE0/HSE-style fraction of exact exchange
-        screening_length=None,          # bare Fock exchange kernel
-        external_field=pulse.potential_factory(grid),
-    )
-    ground_state = GroundStateSolver(hamiltonian, scf_tolerance=1e-7).solve()
+    # 2. Hybrid-functional ground state -------------------------------------
+    ground_state = session.ground_state()
     print(
         f"Ground state: E = {ground_state.total_energy:.6f} Ha, "
         f"converged={ground_state.converged} in {ground_state.scf_iterations} SCF iterations"
     )
 
-    # 4. PT-CN propagation at a 50 as step ----------------------------------
-    propagator = PTCNPropagator(hamiltonian, scf_tolerance=1e-6, max_scf_iterations=30)
-    simulation = TDDFTSimulation(hamiltonian, propagator)
-    dt = attoseconds_to_au(50.0)
-    trajectory = simulation.run(ground_state.wavefunction, dt, n_steps=8)
+    # 3. PT-CN propagation at a 50 as step ----------------------------------
+    trajectory = session.propagate()
 
     print("\n  t [as]   energy [Ha]     dipole_x [a.u.]   SCF its   Fock applications")
     for i, t in enumerate(trajectory.times):
@@ -75,6 +126,7 @@ def main() -> None:
         f"average SCF iterations per step {trajectory.average_scf_iterations:.1f} "
         f"(paper reports ~22 for silicon at the same step size)."
     )
+    print("\n" + session.performance_report())
 
 
 if __name__ == "__main__":

@@ -7,6 +7,10 @@ at a reduced cutoff: build the cell with the paper's 5.43 Angstrom lattice
 constant and the 380 nm pulse, converge a semi-local ground state, and take a
 few PT-CN steps with screened hybrid exchange switched on for the propagation.
 
+This is the paper's two-Hamiltonian workflow expressed declaratively: setting
+``xc.gs_hybrid_mixing = 0.0`` makes the session prepare the ground state with
+a cheap semi-local Hamiltonian while propagating with the screened hybrid one.
+
 Usage:
     python examples/silicon_supercell.py          # 8-atom cell, a few minutes
     python examples/silicon_supercell.py --fast   # local-only EPM silicon, seconds
@@ -16,19 +20,41 @@ from __future__ import annotations
 
 import argparse
 
-import numpy as np
+from repro.api import SimulationConfig, Session
 
-from repro.constants import attoseconds_to_au
-from repro.core import PTCNPropagator, TDDFTSimulation
-from repro.pw import (
-    FFTGrid,
-    GroundStateSolver,
-    Hamiltonian,
-    PlaneWaveBasis,
-    choose_grid_shape,
-    diamond_silicon,
-    paper_laser_pulse,
-)
+
+def build_config(args: argparse.Namespace) -> SimulationConfig:
+    """The full run as one declarative dict, parameterised by the CLI flags."""
+    return SimulationConfig.from_dict(
+        {
+            "system": {
+                "structure": "diamond_silicon",
+                "params": {"empirical": args.fast, "include_nonlocal": not args.fast},
+            },
+            "basis": {"ecut": args.ecut, "grid_factor": 1.0},
+            "xc": {
+                "hybrid_mixing": 0.25,
+                "screening_length": 0.106,  # HSE06 screening parameter (Bohr^-1)
+                "include_nonlocal": not args.fast,
+                "gs_hybrid_mixing": 0.0,  # semi-local ground state, hybrid propagation
+            },
+            "laser": {
+                # the paper's 380 nm pulse, scaled to a weak amplitude
+                "pulse": "paper",
+                "params": {"amplitude": 0.002, "duration_fs": float(args.steps) * 0.05 * 4},
+            },
+            "propagator": {
+                "name": "ptcn",
+                "params": {"scf_tolerance": 1e-5, "max_scf_iterations": 25},
+            },
+            "run": {
+                "time_step_as": 50.0,
+                "n_steps": args.steps,
+                "gs_scf_tolerance": 1e-5,
+                "gs_max_scf_iterations": 40,
+            },
+        }
+    )
 
 
 def main() -> None:
@@ -38,38 +64,22 @@ def main() -> None:
     parser.add_argument("--steps", type=int, default=3, help="number of 50 as PT-CN steps")
     args = parser.parse_args()
 
-    structure = diamond_silicon(empirical=args.fast, include_nonlocal=not args.fast)
-    grid = FFTGrid(structure.cell, choose_grid_shape(structure.cell, args.ecut, factor=1.0))
-    basis = PlaneWaveBasis(grid, args.ecut)
+    session = Session(build_config(args))
+    structure, basis = session.structure, session.basis
     nbands = structure.n_occupied_bands()
     print(
         f"{structure.name}: {structure.natoms} atoms, {structure.n_electrons:.0f} valence electrons, "
-        f"{nbands} occupied bands, {basis.npw} plane waves (grid {grid.shape})"
+        f"{nbands} occupied bands, {basis.npw} plane waves (grid {session.grid.shape})"
     )
 
     # semi-local ground state (cheap), as the starting point
-    lda = Hamiltonian(basis, structure, hybrid_mixing=0.0)
-    gs = GroundStateSolver(lda, scf_tolerance=1e-5, max_scf_iterations=40).solve()
+    gs = session.ground_state()
     gap_proxy = gs.eigenvalues[-1] - gs.eigenvalues[0]
     print(f"Ground state: E = {gs.total_energy:.4f} Ha, occupied bandwidth {gap_proxy:.3f} Ha, "
           f"converged={gs.converged}")
 
-    # the paper's 380 nm pulse, scaled to a weak amplitude
-    pulse = paper_laser_pulse(amplitude=0.002, duration_fs=float(args.steps) * 0.05 * 4)
-    hybrid = Hamiltonian(
-        basis,
-        structure,
-        hybrid_mixing=0.25,
-        screening_length=0.106,  # HSE06 screening parameter (Bohr^-1)
-        external_field=pulse.potential_factory(grid),
-        include_nonlocal=not args.fast,
-    )
-
-    propagator = PTCNPropagator(hybrid, scf_tolerance=1e-5, max_scf_iterations=25)
-    simulation = TDDFTSimulation(hybrid, propagator, record_energy=True)
-    dt = attoseconds_to_au(50.0)
     print(f"\nRunning {args.steps} PT-CN steps of 50 as with screened hybrid exchange ...")
-    trajectory = simulation.run(gs.wavefunction, dt, args.steps)
+    trajectory = session.propagate()
 
     for i in range(len(trajectory.times)):
         print(

@@ -1,7 +1,7 @@
 """repro — reproduction of "Parallel Transport Time-Dependent Density Functional
 Theory Calculations with Hybrid Functional on Summit" (Jia, Wang, Lin; SC 2019).
 
-The package is organised in five layers:
+The package is organised in six layers:
 
 * :mod:`repro.pw` — a from-scratch plane-wave DFT/TDDFT engine (the PWDFT
   analogue): grids, pseudopotentials, Hartree/XC, screened Fock exchange,
@@ -18,10 +18,38 @@ The package is organised in five layers:
 * :mod:`repro.perf` — the PWDFT-at-scale performance model that regenerates the
   paper's tables and figures (strong/weak scaling, component breakdowns,
   optimization stages, PT-CN vs RK4 time-to-solution).
+* :mod:`repro.api` — the declarative facade over all of the above: a
+  JSON-round-trippable :class:`~repro.api.SimulationConfig`, string-keyed
+  registries for structures/pulses/propagators, and a caching
+  :class:`~repro.api.Session`, so that
+  ``repro.api.run_tddft(SimulationConfig.from_dict(d))`` replaces a
+  hand-wired eight-object script.
+
+Subpackages are imported lazily: ``import repro`` is cheap, and
+``repro.api``, ``repro.pw`` etc. materialise on first attribute access.
 """
+
+from __future__ import annotations
+
+import importlib
 
 from . import constants
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["constants", "__version__"]
+#: Subpackages resolved lazily via module ``__getattr__`` (PEP 562).
+_SUBPACKAGES = ("pw", "core", "parallel", "machine", "perf", "analysis", "api")
+
+__all__ = ["constants", "__version__", *_SUBPACKAGES]
+
+
+def __getattr__(name: str):
+    if name in _SUBPACKAGES:
+        module = importlib.import_module(f".{name}", __name__)
+        globals()[name] = module  # cache so __getattr__ runs once per subpackage
+        return module
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_SUBPACKAGES))

@@ -1,0 +1,66 @@
+"""Declarative, registry-backed facade over the whole simulation stack.
+
+This is the stable entry point for config-driven workloads: describe a run as
+a plain dict (or JSON), build a :class:`SimulationConfig`, and either drive it
+step by step through a caching :class:`Session` or use the one-call
+conveniences:
+
+.. code-block:: python
+
+    import repro
+
+    trajectory = repro.api.run_tddft(repro.api.SimulationConfig.from_dict({
+        "system": {"structure": "hydrogen_molecule"},
+        "laser": {"pulse": "gaussian",
+                  "params": {"amplitude": 0.005, "omega": 0.35,
+                             "t0_as": 150.0, "sigma_as": 60.0}},
+    }))
+
+New structures, pulses and propagators plug in through the registries
+(:func:`register_structure`, :func:`register_pulse`,
+:func:`register_propagator`) without touching the driver.
+"""
+
+from .config import (
+    BasisConfig,
+    ConfigError,
+    LaserConfig,
+    PropagatorConfig,
+    RunConfig,
+    SimulationConfig,
+    SystemConfig,
+    XCConfig,
+)
+from .registry import (
+    PROPAGATORS,
+    PULSES,
+    STRUCTURES,
+    Registry,
+    UnknownNameError,
+    register_propagator,
+    register_pulse,
+    register_structure,
+)
+from .session import Session, compare_propagators, run_tddft
+
+__all__ = [
+    "BasisConfig",
+    "ConfigError",
+    "LaserConfig",
+    "PropagatorConfig",
+    "RunConfig",
+    "SimulationConfig",
+    "SystemConfig",
+    "XCConfig",
+    "PROPAGATORS",
+    "PULSES",
+    "STRUCTURES",
+    "Registry",
+    "UnknownNameError",
+    "register_propagator",
+    "register_pulse",
+    "register_structure",
+    "Session",
+    "compare_propagators",
+    "run_tddft",
+]

@@ -1,0 +1,219 @@
+"""String-keyed registries for structures, laser pulses and propagators.
+
+The declarative layer refers to every pluggable component by name — a config
+dict says ``{"structure": "silicon_supercell"}`` or ``{"name": "ptcn"}`` and
+the registries below resolve those names to factory callables. New schemes
+plug in with a decorator and become available to every config-driven entry
+point without touching the session driver:
+
+.. code-block:: python
+
+    from repro.api import register_propagator
+
+    @register_propagator("my_scheme")
+    def build_my_scheme(hamiltonian, **params):
+        return MyScheme(hamiltonian, **params)
+
+Unknown names raise :class:`UnknownNameError` whose message lists every
+registered name, so typos in configs fail with an actionable error.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..constants import attoseconds_to_au
+from ..core.propagators import (
+    CrankNicolsonPropagator,
+    ETRSPropagator,
+    PTCNPropagator,
+    RK4Propagator,
+)
+from ..pw.laser import DeltaKick, GaussianLaserPulse, paper_laser_pulse
+from ..pw.structures import (
+    diamond_silicon,
+    hydrogen_chain,
+    hydrogen_molecule,
+    silicon_supercell,
+)
+
+__all__ = [
+    "Registry",
+    "UnknownNameError",
+    "STRUCTURES",
+    "PULSES",
+    "PROPAGATORS",
+    "register_structure",
+    "register_pulse",
+    "register_propagator",
+]
+
+
+class UnknownNameError(KeyError):
+    """A registry lookup failed; the message lists the registered names."""
+
+    def __init__(self, message: str):
+        super().__init__(message)
+        self.message = message
+
+    def __str__(self) -> str:  # KeyError would wrap the message in quotes
+        return self.message
+
+
+class Registry:
+    """A named mapping from string keys to factory callables.
+
+    Parameters
+    ----------
+    kind:
+        Human-readable singular noun for error messages (e.g. ``"propagator"``).
+    """
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._factories: dict[str, Callable] = {}
+
+    # ------------------------------------------------------------------
+    def register(self, name: str, factory: Callable | None = None, *, aliases: tuple[str, ...] = ()):
+        """Register ``factory`` under ``name`` (and optional aliases).
+
+        Usable directly (``REG.register("x", build_x)``) or as a decorator
+        (``@REG.register("x")``). Re-registering an existing name replaces the
+        old factory, so user code can override the built-ins.
+        """
+
+        def _store(func: Callable) -> Callable:
+            for key in (name, *aliases):
+                self._factories[str(key)] = func
+            return func
+
+        if factory is not None:
+            return _store(factory)
+        return _store
+
+    def unregister(self, name: str) -> None:
+        """Remove a registered name (aliases must be removed individually)."""
+        if name not in self._factories:
+            raise UnknownNameError(self._missing_message(name))
+        del self._factories[name]
+
+    # ------------------------------------------------------------------
+    def names(self) -> list[str]:
+        """Sorted list of all registered names (including aliases)."""
+        return sorted(self._factories)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._factories
+
+    def get(self, name: str) -> Callable:
+        """The factory registered under ``name``."""
+        try:
+            return self._factories[name]
+        except KeyError:
+            raise UnknownNameError(self._missing_message(name)) from None
+
+    def create(self, name: str, *args, **kwargs):
+        """Instantiate the component registered under ``name``."""
+        return self.get(name)(*args, **kwargs)
+
+    def _missing_message(self, name: str) -> str:
+        return (
+            f"unknown {self.kind} {name!r}; registered {self.kind}s: "
+            + ", ".join(self.names())
+        )
+
+
+#: Structures addressable from :class:`repro.api.SystemConfig`.
+STRUCTURES = Registry("structure")
+#: Laser pulses / kicks addressable from :class:`repro.api.LaserConfig`.
+PULSES = Registry("laser pulse")
+#: Time propagators addressable from :class:`repro.api.PropagatorConfig`.
+PROPAGATORS = Registry("propagator")
+
+
+def register_structure(name: str, *, aliases: tuple[str, ...] = ()):
+    """Decorator registering a structure factory ``(**params) -> Structure``."""
+    return STRUCTURES.register(name, aliases=aliases)
+
+
+def register_pulse(name: str, *, aliases: tuple[str, ...] = ()):
+    """Decorator registering a pulse factory ``(**params) -> pulse | None``."""
+    return PULSES.register(name, aliases=aliases)
+
+
+def register_propagator(name: str, *, aliases: tuple[str, ...] = ()):
+    """Decorator registering a propagator factory ``(hamiltonian, **params)``."""
+    return PROPAGATORS.register(name, aliases=aliases)
+
+
+# ---------------------------------------------------------------------------
+# Built-in structures
+# ---------------------------------------------------------------------------
+
+STRUCTURES.register("hydrogen_molecule", hydrogen_molecule, aliases=("h2",))
+STRUCTURES.register("hydrogen_chain", hydrogen_chain)
+STRUCTURES.register("diamond_silicon", diamond_silicon, aliases=("si8",))
+
+
+@register_structure("silicon_supercell")
+def _build_silicon_supercell(repeats=(1, 1, 1), **params):
+    """Diamond-silicon supercell; ``repeats`` may arrive as a JSON list."""
+    return silicon_supercell(tuple(int(r) for r in repeats), **params)
+
+
+# ---------------------------------------------------------------------------
+# Built-in pulses
+# ---------------------------------------------------------------------------
+
+
+@register_pulse("none")
+def _build_no_pulse(**params):
+    """Field-free propagation; accepts no parameters."""
+    if params:
+        raise ValueError(f"pulse 'none' accepts no parameters, got {sorted(params)}")
+    return None
+
+
+@register_pulse("gaussian")
+def _build_gaussian_pulse(
+    amplitude: float,
+    omega: float,
+    t0: float | None = None,
+    sigma: float | None = None,
+    t0_as: float | None = None,
+    sigma_as: float | None = None,
+    polarization=None,
+    phase: float = 0.0,
+):
+    """Gaussian-envelope pulse; times either in a.u. (t0/sigma) or attoseconds.
+
+    Exactly one of ``t0``/``t0_as`` and one of ``sigma``/``sigma_as`` must be
+    given, so declarative JSON configs can use the more natural attosecond
+    units while programmatic callers keep atomic units.
+    """
+    if (t0 is None) == (t0_as is None):
+        raise ValueError("give exactly one of 't0' (a.u.) or 't0_as' (attoseconds)")
+    if (sigma is None) == (sigma_as is None):
+        raise ValueError("give exactly one of 'sigma' (a.u.) or 'sigma_as' (attoseconds)")
+    return GaussianLaserPulse(
+        amplitude=amplitude,
+        omega=omega,
+        t0=attoseconds_to_au(t0_as) if t0 is None else t0,
+        sigma=attoseconds_to_au(sigma_as) if sigma is None else sigma,
+        polarization=polarization,
+        phase=phase,
+    )
+
+
+PULSES.register("paper", paper_laser_pulse, aliases=("paper_380nm",))
+PULSES.register("delta_kick", DeltaKick, aliases=("kick",))
+
+
+# ---------------------------------------------------------------------------
+# Built-in propagators
+# ---------------------------------------------------------------------------
+
+PROPAGATORS.register("ptcn", PTCNPropagator, aliases=("pt-cn", "pt_cn"))
+PROPAGATORS.register("rk4", RK4Propagator)
+PROPAGATORS.register("etrs", ETRSPropagator)
+PROPAGATORS.register("cn", CrankNicolsonPropagator, aliases=("crank_nicolson",))

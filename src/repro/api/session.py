@@ -1,0 +1,282 @@
+"""The config-driven simulation driver: build once, compute on demand.
+
+:class:`Session` turns a :class:`~repro.api.config.SimulationConfig` into the
+live object graph (structure → grid → basis → pulse → Hamiltonian) lazily and
+caches every intermediate result, so a batch driver can ask for the ground
+state once and then fan out propagation runs, or request a performance report
+without recomputing physics. The one-call conveniences :func:`run_tddft` and
+:func:`compare_propagators` cover the two workflows every example and
+benchmark in this repository used to hand-wire.
+"""
+
+from __future__ import annotations
+
+from ..analysis import format_table
+from ..constants import attoseconds_to_au
+from ..core.dynamics import TDDFTSimulation, Trajectory
+from ..pw.basis import Wavefunction
+from ..pw.grid import FFTGrid, PlaneWaveBasis, choose_grid_shape
+from ..pw.ground_state import GroundStateResult, GroundStateSolver
+from ..pw.hamiltonian import Hamiltonian
+from ..pw.laser import DeltaKick
+from .config import SimulationConfig
+from .registry import PROPAGATORS, PULSES, STRUCTURES
+
+__all__ = ["Session", "run_tddft", "compare_propagators"]
+
+
+class Session:
+    """A lazily-built, caching simulation driven by a :class:`SimulationConfig`.
+
+    All heavy objects (grid, basis, Hamiltonian, ground state, trajectories)
+    are built on first access and reused afterwards; calling
+    :meth:`ground_state` twice runs one SCF, and every :meth:`propagate` call
+    with the same arguments returns the cached trajectory.
+
+    Parameters
+    ----------
+    config:
+        The declarative simulation description; validated on construction.
+    """
+
+    def __init__(self, config: SimulationConfig):
+        self.config = config.validate()
+        self._structure = None
+        self._grid: FFTGrid | None = None
+        self._basis: PlaneWaveBasis | None = None
+        self._pulse = None
+        self._pulse_built = False
+        self._hamiltonian: Hamiltonian | None = None
+        self._ground_state: GroundStateResult | None = None
+        self._initial_wavefunction: Wavefunction | None = None
+        self._trajectories: dict[tuple, Trajectory] = {}
+        self._trajectory_labels: dict[tuple, str] = {}
+
+    # ------------------------------------------------------------------
+    # Lazily-built object graph
+    # ------------------------------------------------------------------
+    @property
+    def structure(self):
+        """The atomic :class:`~repro.pw.structures.Structure`."""
+        if self._structure is None:
+            cfg = self.config.system
+            self._structure = STRUCTURES.create(cfg.structure, **cfg.params)
+        return self._structure
+
+    @property
+    def grid(self) -> FFTGrid:
+        """The FFT grid chosen for the configured cutoff."""
+        if self._grid is None:
+            cfg = self.config.basis
+            cell = self.structure.cell
+            self._grid = FFTGrid(cell, choose_grid_shape(cell, cfg.ecut, factor=cfg.grid_factor))
+        return self._grid
+
+    @property
+    def basis(self) -> PlaneWaveBasis:
+        """The plane-wave sphere on :attr:`grid`."""
+        if self._basis is None:
+            self._basis = PlaneWaveBasis(self.grid, self.config.basis.ecut)
+        return self._basis
+
+    @property
+    def pulse(self):
+        """The configured pulse object (``None`` for field-free runs)."""
+        if not self._pulse_built:
+            cfg = self.config.laser
+            self._pulse = PULSES.create(cfg.pulse, **cfg.params)
+            self._pulse_built = True
+        return self._pulse
+
+    @property
+    def hamiltonian(self) -> Hamiltonian:
+        """The propagation Hamiltonian (shared with the default ground state)."""
+        if self._hamiltonian is None:
+            xc = self.config.xc
+            pulse = self.pulse
+            external = None
+            if pulse is not None and hasattr(pulse, "potential_factory"):
+                external = pulse.potential_factory(self.grid)
+            self._hamiltonian = Hamiltonian(
+                self.basis,
+                self.structure,
+                hybrid_mixing=xc.hybrid_mixing,
+                screening_length=xc.screening_length,
+                external_field=external,
+                include_nonlocal=xc.include_nonlocal,
+            )
+        return self._hamiltonian
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def ground_state(self) -> GroundStateResult:
+        """Converge (once) and return the ground state.
+
+        Uses the propagation Hamiltonian unless ``xc.gs_hybrid_mixing`` is
+        set, in which case a separate field-free Hamiltonian with that mixing
+        prepares the initial state (the paper's silicon workflow: semi-local
+        ground state, hybrid propagation).
+        """
+        if self._ground_state is None:
+            xc = self.config.xc
+            run = self.config.run
+            if xc.gs_hybrid_mixing is None:
+                ham = self.hamiltonian
+            else:
+                ham = Hamiltonian(
+                    self.basis,
+                    self.structure,
+                    hybrid_mixing=xc.gs_hybrid_mixing,
+                    screening_length=xc.screening_length,
+                    include_nonlocal=xc.include_nonlocal,
+                )
+            solver = GroundStateSolver(
+                ham,
+                scf_tolerance=run.gs_scf_tolerance,
+                max_scf_iterations=run.gs_max_scf_iterations,
+            )
+            self._ground_state = solver.solve()
+        return self._ground_state
+
+    def initial_wavefunction(self) -> Wavefunction:
+        """The propagation starting state: the ground state, kicked if the
+        configured pulse is a :class:`~repro.pw.laser.DeltaKick`."""
+        if self._initial_wavefunction is None:
+            wavefunction = self.ground_state().wavefunction
+            pulse = self.pulse
+            if isinstance(pulse, DeltaKick):
+                kicked = pulse.apply(self.grid, wavefunction.to_real_space())
+                wavefunction = Wavefunction.from_real_space(
+                    self.basis, kicked, wavefunction.occupations
+                )
+            self._initial_wavefunction = wavefunction
+        return self._initial_wavefunction
+
+    # ------------------------------------------------------------------
+    def propagate(
+        self,
+        propagator: str | None = None,
+        *,
+        time_step_as: float | None = None,
+        n_steps: int | None = None,
+        params: dict | None = None,
+    ) -> Trajectory:
+        """Run (or return the cached) propagation.
+
+        Parameters
+        ----------
+        propagator:
+            Registry name of the integrator; defaults to the configured one.
+            When the configured name is used, the configured propagator params
+            apply as well (explicit ``params`` always win).
+        time_step_as, n_steps:
+            Optional overrides of the configured run parameters — useful for
+            comparing integrators at their own natural step sizes.
+        params:
+            Optional propagator keyword arguments overriding the configured
+            ones.
+        """
+        cfg = self.config
+        name = cfg.propagator.name if propagator is None else propagator
+        factory = PROPAGATORS.get(name)
+        if params is None:
+            # compare resolved factories, not strings, so registry aliases
+            # (e.g. "pt-cn" for "ptcn") pick up the configured params too
+            configured = factory is PROPAGATORS.get(cfg.propagator.name)
+            params = dict(cfg.propagator.params) if configured else {}
+        dt_as = cfg.run.time_step_as if time_step_as is None else float(time_step_as)
+        steps = cfg.run.n_steps if n_steps is None else int(n_steps)
+
+        # keyed by factory identity so aliases share one cache entry
+        key = (factory, dt_as, steps, tuple(sorted((k, repr(v)) for k, v in params.items())))
+        if key not in self._trajectories:
+            ham = self.hamiltonian
+            scheme = factory(ham, **params)
+            simulation = TDDFTSimulation(
+                ham,
+                scheme,
+                record_energy=cfg.run.record_energy,
+                record_dipole=cfg.run.record_dipole,
+            )
+            trajectory = simulation.run(
+                self.initial_wavefunction(), attoseconds_to_au(dt_as), steps
+            )
+            self._trajectories[key] = trajectory
+            base = f"{scheme.name} @ {dt_as:g} as"
+            label, suffix = base, 2
+            while label in self._trajectory_labels.values():
+                label = f"{base} #{suffix}"
+                suffix += 1
+            self._trajectory_labels[key] = label
+        return self._trajectories[key]
+
+    @property
+    def trajectories(self) -> dict[str, Trajectory]:
+        """All propagations run so far, keyed by a human-readable label."""
+        return {
+            self._trajectory_labels[key]: traj for key, traj in self._trajectories.items()
+        }
+
+    # ------------------------------------------------------------------
+    def performance_report(self) -> str:
+        """A plain-text table summarising every propagation of this session.
+
+        Runs the configured default propagation first if nothing has been
+        propagated yet, so the one-liner
+        ``Session(config).performance_report()`` works.
+        """
+        if not self._trajectories:
+            self.propagate()
+        headers = [
+            "integrator",
+            "steps",
+            "dt [as]",
+            "Fock applies",
+            "avg SCF/step",
+            "energy drift [Ha]",
+            "wall [s]",
+        ]
+        rows = []
+        for key, trajectory in self._trajectories.items():
+            rows.append(
+                [
+                    self._trajectory_labels[key],
+                    trajectory.n_steps,
+                    key[1],
+                    trajectory.total_hamiltonian_applications,
+                    trajectory.average_scf_iterations,
+                    trajectory.energy_drift,
+                    trajectory.wall_time,
+                ]
+            )
+        gs = self._ground_state
+        lines = [format_table(headers, rows)]
+        if gs is not None:
+            lines.append(
+                f"ground state: E = {gs.total_energy:.8f} Ha, "
+                f"{gs.scf_iterations} SCF iterations, converged={gs.converged}"
+            )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# One-call conveniences
+# ---------------------------------------------------------------------------
+
+
+def run_tddft(config: SimulationConfig) -> Trajectory:
+    """Ground state + propagation in one call, per the config. Returns the
+    :class:`~repro.core.dynamics.Trajectory`."""
+    return Session(config).propagate()
+
+
+def compare_propagators(config: SimulationConfig, names: list[str]) -> dict[str, Trajectory]:
+    """Propagate the same system/ground state with several integrators.
+
+    The ground state and Hamiltonian are shared across all runs (one SCF
+    total); every integrator uses the config's run parameters. Returns a
+    mapping from registry name to trajectory, in the order given.
+    """
+    session = Session(config)
+    return {name: session.propagate(name) for name in names}

@@ -38,7 +38,7 @@ class Trajectory:
     hamiltonian_applications: np.ndarray
     density_errors: np.ndarray
     wall_time: float
-    final_wavefunction: Wavefunction
+    final_wavefunction: Wavefunction | None
     step_statistics: list[StepStatistics] = field(default_factory=list)
 
     # ------------------------------------------------------------------
@@ -66,8 +66,82 @@ class Trajectory:
     def dipole_along(self, direction: np.ndarray) -> np.ndarray:
         """Project the dipole trajectory on a direction (normalised internally)."""
         direction = np.asarray(direction, dtype=float)
-        direction = direction / np.linalg.norm(direction)
+        norm = float(np.linalg.norm(direction))
+        if norm < 1e-12:
+            raise ValueError("direction must be a nonzero vector")
+        direction = direction / norm
         return self.dipoles @ direction
+
+    # ------------------------------------------------------------------
+    # Serialization (for the analysis layer and batch workloads)
+    # ------------------------------------------------------------------
+    _ARRAY_FIELDS = (
+        "times",
+        "energies",
+        "dipoles",
+        "electron_numbers",
+        "scf_iterations",
+        "hamiltonian_applications",
+        "density_errors",
+    )
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable summary of the recorded observables.
+
+        Drops the final wavefunction and per-step statistics; use
+        :meth:`save_npz` when the full state is needed.
+        """
+        out = {name: np.asarray(getattr(self, name)).tolist() for name in self._ARRAY_FIELDS}
+        out["wall_time"] = float(self.wall_time)
+        return out
+
+    def save_npz(self, path) -> None:
+        """Save observables and the final orbitals to a ``.npz`` archive.
+
+        Per-step :class:`StepStatistics` are not serialized (they hold
+        free-form diagnostics); everything else round-trips through
+        :meth:`load_npz`.
+        """
+        if self.final_wavefunction is None:
+            raise ValueError(
+                "cannot save_npz: final_wavefunction is None "
+                "(trajectory was loaded without a basis)"
+            )
+        arrays = {name: np.asarray(getattr(self, name)) for name in self._ARRAY_FIELDS}
+        np.savez(
+            path,
+            wall_time=np.float64(self.wall_time),
+            final_coefficients=self.final_wavefunction.coefficients,
+            final_occupations=self.final_wavefunction.occupations,
+            **arrays,
+        )
+
+    @classmethod
+    def load_npz(cls, path, basis=None) -> "Trajectory":
+        """Load a trajectory saved by :meth:`save_npz`.
+
+        Parameters
+        ----------
+        path:
+            The ``.npz`` archive.
+        basis:
+            The :class:`~repro.pw.grid.PlaneWaveBasis` the final orbitals
+            refer to; if ``None``, :attr:`final_wavefunction` is left as
+            ``None`` and only the observable arrays are restored.
+        """
+        with np.load(path) as data:
+            kwargs = {name: data[name] for name in cls._ARRAY_FIELDS}
+            wavefunction = None
+            if basis is not None:
+                wavefunction = Wavefunction(
+                    basis, data["final_coefficients"], data["final_occupations"]
+                )
+            return cls(
+                wall_time=float(data["wall_time"]),
+                final_wavefunction=wavefunction,
+                step_statistics=[],
+                **kwargs,
+            )
 
 
 class TDDFTSimulation:

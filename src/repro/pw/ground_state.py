@@ -47,12 +47,62 @@ class GroundStateResult:
         Whether the density change dropped below the tolerance.
     """
 
-    wavefunction: Wavefunction
+    wavefunction: Wavefunction | None
     eigenvalues: np.ndarray
     total_energy: float
     scf_iterations: int
     density_errors: list[float] = field(default_factory=list)
     converged: bool = False
+
+    # ------------------------------------------------------------------
+    # Serialization (for the analysis layer and batch workloads)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """A JSON-serializable summary (without the orbitals)."""
+        return {
+            "eigenvalues": np.asarray(self.eigenvalues).tolist(),
+            "total_energy": float(self.total_energy),
+            "scf_iterations": int(self.scf_iterations),
+            "density_errors": [float(e) for e in self.density_errors],
+            "converged": bool(self.converged),
+        }
+
+    def save_npz(self, path) -> None:
+        """Save the result, including the orbitals, to a ``.npz`` archive."""
+        if self.wavefunction is None:
+            raise ValueError(
+                "cannot save_npz: wavefunction is None (result was loaded without a basis)"
+            )
+        np.savez(
+            path,
+            eigenvalues=np.asarray(self.eigenvalues),
+            total_energy=np.float64(self.total_energy),
+            scf_iterations=np.int64(self.scf_iterations),
+            density_errors=np.asarray(self.density_errors, dtype=float),
+            converged=np.bool_(self.converged),
+            coefficients=self.wavefunction.coefficients,
+            occupations=self.wavefunction.occupations,
+        )
+
+    @classmethod
+    def load_npz(cls, path, basis=None) -> "GroundStateResult":
+        """Load a result saved by :meth:`save_npz`.
+
+        ``basis`` is the :class:`~repro.pw.grid.PlaneWaveBasis` the orbitals
+        refer to; if ``None``, :attr:`wavefunction` is left as ``None``.
+        """
+        with np.load(path) as data:
+            wavefunction = None
+            if basis is not None:
+                wavefunction = Wavefunction(basis, data["coefficients"], data["occupations"])
+            return cls(
+                wavefunction=wavefunction,
+                eigenvalues=data["eigenvalues"],
+                total_energy=float(data["total_energy"]),
+                scf_iterations=int(data["scf_iterations"]),
+                density_errors=[float(e) for e in data["density_errors"]],
+                converged=bool(data["converged"]),
+            )
 
 
 class GroundStateSolver:

@@ -1,0 +1,175 @@
+"""SimulationConfig: dict/JSON round-trips, validation, registry errors."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    PROPAGATORS,
+    PULSES,
+    STRUCTURES,
+    BasisConfig,
+    ConfigError,
+    SimulationConfig,
+    UnknownNameError,
+    register_propagator,
+)
+
+QUICKSTART_DICT = {
+    "system": {"structure": "hydrogen_molecule", "params": {"box": 10.0, "bond_length": 1.4}},
+    "basis": {"ecut": 3.0, "grid_factor": 1.0},
+    "xc": {"hybrid_mixing": 0.25, "screening_length": None},
+    "laser": {
+        "pulse": "gaussian",
+        "params": {
+            "amplitude": 0.005,
+            "omega": 0.35,
+            "t0_as": 150.0,
+            "sigma_as": 60.0,
+            "polarization": [1.0, 0.0, 0.0],
+        },
+    },
+    "propagator": {"name": "ptcn", "params": {"scf_tolerance": 1e-6, "max_scf_iterations": 30}},
+    "run": {"time_step_as": 50.0, "n_steps": 8, "gs_scf_tolerance": 1e-7},
+}
+
+
+# ---------------------------------------------------------------------------
+# Round trips
+# ---------------------------------------------------------------------------
+
+
+def test_dict_round_trip_is_identity():
+    config = SimulationConfig.from_dict(QUICKSTART_DICT)
+    again = SimulationConfig.from_dict(config.to_dict())
+    assert again == config
+    assert again.to_dict() == config.to_dict()
+
+
+def test_json_round_trip_is_identity():
+    config = SimulationConfig.from_dict(QUICKSTART_DICT)
+    text = config.to_json()
+    json.loads(text)  # valid JSON
+    assert SimulationConfig.from_json(text) == config
+    assert SimulationConfig.from_json(text).to_dict() == config.to_dict()
+
+
+def test_default_config_is_valid_and_round_trips():
+    config = SimulationConfig().validate()
+    assert SimulationConfig.from_json(config.to_json()) == config
+
+
+def test_partial_dict_uses_defaults():
+    config = SimulationConfig.from_dict({"basis": {"ecut": 5.0}})
+    assert config.basis.ecut == 5.0
+    assert config.basis.grid_factor == BasisConfig().grid_factor
+    assert config.propagator.name == "ptcn"
+    assert config.laser.pulse == "none"
+
+
+def test_to_dict_deep_copies_params():
+    config = SimulationConfig.from_dict(QUICKSTART_DICT)
+    dumped = config.to_dict()
+    dumped["system"]["params"]["box"] = -1.0
+    assert config.system.params["box"] == 10.0
+
+
+# ---------------------------------------------------------------------------
+# Validation errors
+# ---------------------------------------------------------------------------
+
+
+def test_unknown_section_lists_valid_sections():
+    with pytest.raises(ConfigError, match=r"sytem.*valid sections.*propagator"):
+        SimulationConfig.from_dict({"sytem": {}})
+
+
+def test_unknown_section_key_lists_valid_keys():
+    with pytest.raises(ConfigError, match=r"cutoff.*'basis'.*ecut"):
+        SimulationConfig.from_dict({"basis": {"cutoff": 3.0}})
+
+
+@pytest.mark.parametrize(
+    "section, payload, fragment",
+    [
+        ("basis", {"ecut": 0.0}, "basis.ecut"),
+        ("basis", {"grid_factor": -1.0}, "basis.grid_factor"),
+        ("xc", {"hybrid_mixing": 2.0}, "xc.hybrid_mixing"),
+        ("xc", {"gs_hybrid_mixing": -0.5}, "xc.gs_hybrid_mixing"),
+        ("xc", {"screening_length": 0.0}, "xc.screening_length"),
+        ("run", {"n_steps": 0}, "run.n_steps"),
+        ("run", {"time_step_as": -50.0}, "run.time_step_as"),
+        ("system", {"structure": ""}, "system.structure"),
+        ("basis", {"ecut": "3.0"}, "basis.ecut"),
+        ("xc", {"hybrid_mixing": "0.25"}, "xc.hybrid_mixing"),
+        ("run", {"time_step_as": None}, "run.time_step_as"),
+        ("propagator", {"params": ["not", "a", "dict"]}, "propagator.params"),
+    ],
+)
+def test_bad_values_raise_actionable_errors(section, payload, fragment):
+    with pytest.raises(ConfigError) as excinfo:
+        SimulationConfig.from_dict({section: payload})
+    assert fragment in str(excinfo.value)
+
+
+# ---------------------------------------------------------------------------
+# Registry resolution
+# ---------------------------------------------------------------------------
+
+
+def test_float_counts_are_coerced_to_int():
+    config = SimulationConfig.from_dict({"run": {"n_steps": 8.0, "gs_max_scf_iterations": 40.0}})
+    assert config.run.n_steps == 8 and isinstance(config.run.n_steps, int)
+    assert config.run.gs_max_scf_iterations == 40
+    assert isinstance(config.run.gs_max_scf_iterations, int)
+
+
+def test_non_integral_counts_raise():
+    with pytest.raises(ConfigError, match=r"run.n_steps must be an integer"):
+        SimulationConfig.from_dict({"run": {"n_steps": 8.5}})
+    with pytest.raises(ConfigError, match=r"run.n_steps must be an integer"):
+        SimulationConfig.from_dict({"run": {"n_steps": "many"}})
+
+
+def test_unknown_structure_lists_registered_names():
+    with pytest.raises(UnknownNameError) as excinfo:
+        SimulationConfig.from_dict({"system": {"structure": "unobtainium"}})
+    message = str(excinfo.value)
+    assert "unobtainium" in message
+    assert "hydrogen_molecule" in message
+    assert "silicon_supercell" in message
+
+
+def test_unknown_propagator_lists_registered_names():
+    with pytest.raises(UnknownNameError) as excinfo:
+        SimulationConfig.from_dict({"propagator": {"name": "verlet"}})
+    message = str(excinfo.value)
+    assert "ptcn" in message and "rk4" in message and "etrs" in message and "cn" in message
+
+
+def test_unknown_pulse_lists_registered_names():
+    with pytest.raises(UnknownNameError) as excinfo:
+        SimulationConfig.from_dict({"laser": {"pulse": "square_wave"}})
+    message = str(excinfo.value)
+    assert "gaussian" in message and "none" in message
+
+
+def test_builtin_registry_contents():
+    assert "hydrogen_molecule" in STRUCTURES and "diamond_silicon" in STRUCTURES
+    assert "gaussian" in PULSES and "delta_kick" in PULSES
+    for name in ("ptcn", "rk4", "etrs", "cn", "pt-cn"):
+        assert name in PROPAGATORS
+
+
+def test_register_propagator_decorator_plugs_into_configs():
+    @register_propagator("test_prop_xyz")
+    def build(hamiltonian, **params):
+        return ("built", hamiltonian, params)
+
+    try:
+        config = SimulationConfig.from_dict({"propagator": {"name": "test_prop_xyz"}})
+        assert config.propagator.name == "test_prop_xyz"
+        assert PROPAGATORS.create("test_prop_xyz", None, a=1) == ("built", None, {"a": 1})
+    finally:
+        PROPAGATORS.unregister("test_prop_xyz")
+    assert "test_prop_xyz" not in PROPAGATORS
