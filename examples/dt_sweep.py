@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Fig. 6 as a one-call sweep: {PT-CN, RK4} x {time steps} via ``repro.batch``.
+
+The paper's central comparison — PT-CN holding a large time step where RK4
+either crawls or blows up — is a *sweep*, not a single run. This example
+declares it as one: a base config, two axes, one ``BatchRunner.run()`` call.
+The runner converges the shared hybrid ground state exactly once, fans out
+the four propagations, and the report renders the cost table (Fig. 6), the
+propagator-x-dt Fock-application pivot, and the dt-vs-accuracy table against
+the smallest-step run.
+
+Usage:
+    python examples/dt_sweep.py            # the full laser-driven comparison
+    python examples/dt_sweep.py --smoke    # CI smoke: tiny 2-job serial sweep
+                                           # with a checkpoint/resume check
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+
+import numpy as np
+
+from repro.api import SimulationConfig
+from repro.batch import BatchRunner, SweepSpec
+
+#: the quickstart H2 system driven by a weak laser, swept below
+BASE = {
+    "system": {"structure": "hydrogen_molecule", "params": {"box": 10.0, "bond_length": 1.4}},
+    "basis": {"ecut": 3.0},
+    "xc": {"hybrid_mixing": 0.25, "screening_length": None},
+    "laser": {
+        "pulse": "gaussian",
+        "params": {
+            "amplitude": 0.005,
+            "omega": 0.35,
+            "t0_as": 100.0,
+            "sigma_as": 40.0,
+            "polarization": [1.0, 0.0, 0.0],
+        },
+    },
+    "run": {"gs_scf_tolerance": 1e-7},
+}
+
+#: each integrator with its own parameters, times the same 20 as window
+#: covered at a small and at a large step
+WINDOW_AXES = {
+    "propagator": [
+        {"name": "ptcn", "params": {"scf_tolerance": 1e-7, "max_scf_iterations": 40}},
+        {"name": "rk4", "params": {}},
+    ],
+    "run": [
+        {"time_step_as": 1.0, "n_steps": 20},
+        {"time_step_as": 10.0, "n_steps": 2},
+    ],
+}
+
+
+def main() -> int:
+    spec = SweepSpec(SimulationConfig.from_dict(BASE), WINDOW_AXES)
+    runner = BatchRunner(spec)
+    print(f"Sweep: {spec.n_jobs} jobs over axes {spec.axis_paths}")
+    print(f"Shared ground states to converge: {runner.prepare_ground_states()}\n")
+
+    # at production cutoffs RK4 overflows at large steps; keep that quiet and
+    # let it show up as a huge energy drift in the table instead
+    with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+        report = runner.run()
+
+    print(report.to_table())
+    print("\nFig. 6-style cost comparison:\n")
+    print(report.fig6_table())
+    print("\nFock applications, propagator x dt:\n")
+    print(report.pivot("hamiltonian_applications"))
+    print("\nAccuracy vs the smallest-step run:\n")
+    print(report.accuracy_table())
+
+    by_point = {
+        (r.summary["propagator"], r.summary["time_step_as"]): r.summary for r in report.completed
+    }
+    ratio = by_point[("rk4", 1.0)]["hamiltonian_applications"] / by_point[("ptcn", 10.0)]["hamiltonian_applications"]
+    print(
+        f"\nPT-CN at the 10x larger step covers the window with {ratio:.1f}x fewer Fock"
+        "\napplications than small-step RK4 at matching accuracy. (On this toy basis"
+        "\nRK4 happens to stay stable at 10 as; at the paper's 10 Ha cutoff its"
+        "\nstability limit forces sub-attosecond steps, giving the 20-30x of Fig. 6.)"
+    )
+    return 0
+
+
+def smoke() -> int:
+    """2-job serial sweep + checkpoint resume; exits nonzero on any failure."""
+    base = SimulationConfig.from_dict(
+        {
+            "system": {"structure": "hydrogen_molecule", "params": {"box": 8.0, "bond_length": 1.4}},
+            "basis": {"ecut": 2.0},
+            "xc": {"hybrid_mixing": 0.0},
+            "run": {"time_step_as": 1.0, "n_steps": 2, "gs_scf_tolerance": 1e-6},
+        }
+    )
+    spec = SweepSpec(base, {"run.time_step_as": [1.0, 2.0]})
+    with tempfile.TemporaryDirectory() as checkpoint_dir:
+        report = BatchRunner(spec, checkpoint_dir=checkpoint_dir).run()
+        print(report.to_table())
+        if [r.status for r in report] != ["completed", "completed"]:
+            print("smoke FAILED: sweep did not complete", file=sys.stderr)
+            return 1
+        resumed = BatchRunner(spec, checkpoint_dir=checkpoint_dir).run()
+        if [r.status for r in resumed] != ["cached", "cached"]:
+            print("smoke FAILED: resume did not load the checkpoints", file=sys.stderr)
+            return 1
+    print("smoke ok: 2 jobs completed serially, resume served both from checkpoints")
+    return 0
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="run the tiny CI smoke sweep")
+    args = parser.parse_args()
+    sys.exit(smoke() if args.smoke else main())

@@ -8,9 +8,10 @@ integrator at a 20x larger step, then compares the gauge-invariant observables
 quantity that dominates the cost of hybrid-functional rt-TDDFT (Section 1 of
 the paper).
 
-Both integrators run from one shared config/ground state through
-``repro.api.Session``: the session caches the SCF, and each ``propagate``
-call only selects a different registry name and step size.
+The comparison is declared as a two-job zip-mode sweep through
+``repro.batch``: each integrator is paired with its own natural step size,
+and the :class:`~repro.batch.BatchRunner` converges the shared ground state
+once before fanning out the two propagations.
 
 Usage:
     python examples/pt_vs_rk4.py
@@ -20,7 +21,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.api import SimulationConfig, Session
+from repro.api import SimulationConfig
+from repro.batch import BatchRunner, SweepSpec
 from repro.core.observables import dipole_moment
 from repro.pw import compute_density
 
@@ -42,49 +44,43 @@ CONFIG = {
     "run": {"gs_scf_tolerance": 1e-7},
 }
 
+WINDOW_AS = 60.0
+
+#: each integrator at its own natural step over the same window (zip mode)
+AXES = {
+    "propagator": [
+        {"name": "rk4", "params": {}},
+        {"name": "ptcn", "params": {"scf_tolerance": 1e-7, "max_scf_iterations": 40}},
+    ],
+    "run": [
+        {"time_step_as": 1.0, "n_steps": int(WINDOW_AS / 1.0)},
+        {"time_step_as": 20.0, "n_steps": int(WINDOW_AS / 20.0)},
+    ],
+}
+
 
 def main() -> None:
-    session = Session(SimulationConfig.from_dict(CONFIG))
-    structure, basis = session.structure, session.basis
-    print(
-        f"System: {structure.name}, {structure.n_occupied_bands()} occupied bands, "
-        f"{basis.npw} plane waves"
-    )
-    gs = session.ground_state()
-    print(f"Hybrid ground state energy: {gs.total_energy:.6f} Ha (converged={gs.converged})")
+    spec = SweepSpec(SimulationConfig.from_dict(CONFIG), AXES, mode="zip")
+    runner = BatchRunner(spec)
+    n_scf = runner.prepare_ground_states()
+    report = runner.run()
 
-    window_as = 60.0
-    runs = {
-        "RK4 @ 1 as": session.propagate("rk4", time_step_as=1.0, n_steps=int(window_as / 1.0)),
-        "PT-CN @ 20 as": session.propagate(
-            "ptcn",
-            time_step_as=20.0,
-            n_steps=int(window_as / 20.0),
-            params={"scf_tolerance": 1e-7, "max_scf_iterations": 40},
-        ),
-    }
+    rk4, ptcn = report.results
+    print(f"Propagated {WINDOW_AS:.0f} as of laser-driven dynamics ({n_scf} shared SCF):\n")
+    print(report.fig6_table())
 
-    reference = runs["RK4 @ 1 as"]
-    rho_ref = compute_density(reference.final_wavefunction)
+    rho_ref = compute_density(rk4.trajectory.final_wavefunction)
+    rho_pt = compute_density(ptcn.trajectory.final_wavefunction)
+    diff = np.max(np.abs(rho_pt - rho_ref)) / np.max(np.abs(rho_ref))
+    print(f"\nmax relative density difference PT-CN vs RK4: {diff:.2e}")
 
-    print(f"\nPropagating {window_as:.0f} as of laser-driven dynamics:\n")
-    print(f"{'integrator':<16} {'steps':>6} {'Fock applies':>13} {'wall [s]':>9} "
-          f"{'energy drift':>13} {'max density diff':>17}")
-    for name, traj in runs.items():
-        rho = compute_density(traj.final_wavefunction)
-        diff = np.max(np.abs(rho - rho_ref)) / np.max(np.abs(rho_ref))
-        print(
-            f"{name:<16} {traj.n_steps:>6d} {traj.total_hamiltonian_applications:>13d} "
-            f"{traj.wall_time:>9.2f} {traj.energy_drift:>13.2e} {diff:>17.2e}"
-        )
-
-    d_ref = dipole_moment(reference.final_wavefunction)
-    d_pt = dipole_moment(runs["PT-CN @ 20 as"].final_wavefunction)
-    print(f"\nFinal dipole (RK4)  : {d_ref}")
+    d_ref = dipole_moment(rk4.trajectory.final_wavefunction)
+    d_pt = dipole_moment(ptcn.trajectory.final_wavefunction)
+    print(f"Final dipole (RK4)  : {d_ref}")
     print(f"Final dipole (PT-CN): {d_pt}")
+
     ratio = (
-        runs["RK4 @ 1 as"].total_hamiltonian_applications
-        / runs["PT-CN @ 20 as"].total_hamiltonian_applications
+        rk4.summary["hamiltonian_applications"] / ptcn.summary["hamiltonian_applications"]
     )
     print(
         f"\nPT-CN reached the same physics with {ratio:.1f}x fewer Fock exchange applications."

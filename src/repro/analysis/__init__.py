@@ -16,6 +16,7 @@ from .reporting import (
     compare_series,
     format_table,
     geometric_mean_ratio,
+    pivot_table,
 )
 
 __all__ = [
@@ -32,4 +33,5 @@ __all__ = [
     "compare_series",
     "format_table",
     "geometric_mean_ratio",
+    "pivot_table",
 ]

@@ -11,7 +11,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["format_table", "ComparisonRow", "compare_series", "geometric_mean_ratio", "Timer"]
+__all__ = [
+    "format_table",
+    "pivot_table",
+    "ComparisonRow",
+    "compare_series",
+    "geometric_mean_ratio",
+    "Timer",
+]
 
 
 def format_table(headers: list[str], rows: list[list], float_format: str = "{:.3g}") -> str:
@@ -36,6 +43,46 @@ def format_table(headers: list[str], rows: list[list], float_format: str = "{:.3
     for row in formatted_rows:
         lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
     return "\n".join(lines)
+
+
+def pivot_table(
+    records: list[dict],
+    index: str,
+    columns: str,
+    value: str,
+    float_format: str = "{:.3g}",
+    missing: str = "-",
+) -> str:
+    """Render flat record dicts as an ``index`` x ``columns`` pivot of ``value``.
+
+    Row and column headers appear in first-seen order; cells without a record
+    show ``missing``; when several records land in the same cell the last one
+    wins. Used by :class:`repro.batch.SweepReport` for dt-vs-propagator grids.
+    """
+    row_keys: list = []
+    col_keys: list = []
+    cells: dict[tuple, object] = {}
+    for record in records:
+        if index not in record or columns not in record:
+            raise KeyError(f"record missing pivot key {index!r} or {columns!r}: {record!r}")
+        r, c = record[index], record[columns]
+        if r not in row_keys:
+            row_keys.append(r)
+        if c not in col_keys:
+            col_keys.append(c)
+        cells[(r, c)] = record.get(value, missing)
+
+    def _fmt(cell) -> str:
+        if isinstance(cell, (float, np.floating)):
+            return float_format.format(cell)
+        return str(cell)
+
+    headers = [f"{index} \\ {columns}"] + [_fmt(c) for c in col_keys]
+    rows = [
+        [_fmt(r)] + [_fmt(cells[(r, c)]) if (r, c) in cells else missing for c in col_keys]
+        for r in row_keys
+    ]
+    return format_table(headers, rows)
 
 
 @dataclass

@@ -35,6 +35,7 @@ from .registry import (
     PROPAGATORS,
     PULSES,
     STRUCTURES,
+    DuplicateNameError,
     Registry,
     UnknownNameError,
     register_propagator,
@@ -55,6 +56,7 @@ __all__ = [
     "PROPAGATORS",
     "PULSES",
     "STRUCTURES",
+    "DuplicateNameError",
     "Registry",
     "UnknownNameError",
     "register_propagator",

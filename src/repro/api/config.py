@@ -335,6 +335,61 @@ class SimulationConfig:
         return cls(**kwargs).validate()
 
     # ------------------------------------------------------------------
+    def with_overrides(self, overrides: dict) -> "SimulationConfig":
+        """Return a new validated config with dotted-path overrides applied.
+
+        ``overrides`` maps paths to replacement values. A path is either
+
+        * ``"section.field"`` (or deeper, e.g. ``"system.params.box"``),
+          replacing the single addressed value, or
+        * a bare ``"section"`` name, whose value must be a dict that is merged
+          into the section (useful for overriding several coupled fields at
+          once, e.g. ``{"run": {"time_step_as": 10.0, "n_steps": 6}}``).
+
+        The original config is never mutated; the result passes through
+        :meth:`from_dict`, so malformed values and unknown field names raise
+        :class:`ConfigError` with the valid choices listed. This is the
+        expansion hook :mod:`repro.batch` sweeps are built on.
+        """
+        if not isinstance(overrides, dict):
+            raise ConfigError(
+                f"overrides must be a dict of path -> value, got {type(overrides).__name__}"
+            )
+        data = self.to_dict()
+        for path, value in overrides.items():
+            if not isinstance(path, str) or not path:
+                raise ConfigError(f"override path must be a non-empty string, got {path!r}")
+            keys = path.split(".")
+            if keys[0] not in self._SECTIONS:
+                raise ConfigError(
+                    f"unknown config section {keys[0]!r} in override path {path!r}; "
+                    f"valid sections: {list(self._SECTIONS)}"
+                )
+            if len(keys) == 1:
+                if not isinstance(value, dict):
+                    raise ConfigError(
+                        f"override for whole section {path!r} must be a dict, "
+                        f"got {type(value).__name__}"
+                    )
+                data[path].update(copy.deepcopy(value))
+                continue
+            node = data[keys[0]]
+            for depth, key in enumerate(keys[1:-1], start=1):
+                if not isinstance(node, dict) or key not in node:
+                    raise ConfigError(
+                        f"override path {path!r} does not exist in the config "
+                        f"(no {'.'.join(keys[: depth + 1])!r})"
+                    )
+                node = node[key]
+            if not isinstance(node, dict):
+                raise ConfigError(
+                    f"override path {path!r} does not address a dict "
+                    f"({'.'.join(keys[:-1])!r} is {type(node).__name__})"
+                )
+            node[keys[-1]] = copy.deepcopy(value)
+        return SimulationConfig.from_dict(data)
+
+    # ------------------------------------------------------------------
     def to_json(self, indent: int | None = 2) -> str:
         """JSON text of :meth:`to_dict`."""
         return json.dumps(self.to_dict(), indent=indent)

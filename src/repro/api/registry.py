@@ -16,6 +16,9 @@ point without touching the session driver:
 
 Unknown names raise :class:`UnknownNameError` whose message lists every
 registered name, so typos in configs fail with an actionable error.
+Registering a name (or alias) that is already taken raises
+:class:`DuplicateNameError` unless ``overwrite=True`` is passed, so two
+plugins cannot silently shadow each other.
 """
 
 from __future__ import annotations
@@ -40,6 +43,7 @@ from ..pw.structures import (
 __all__ = [
     "Registry",
     "UnknownNameError",
+    "DuplicateNameError",
     "STRUCTURES",
     "PULSES",
     "PROPAGATORS",
@@ -60,6 +64,10 @@ class UnknownNameError(KeyError):
         return self.message
 
 
+class DuplicateNameError(ValueError):
+    """A registration clashed with an already-registered name or alias."""
+
+
 class Registry:
     """A named mapping from string keys to factory callables.
 
@@ -74,17 +82,33 @@ class Registry:
         self._factories: dict[str, Callable] = {}
 
     # ------------------------------------------------------------------
-    def register(self, name: str, factory: Callable | None = None, *, aliases: tuple[str, ...] = ()):
+    def register(
+        self,
+        name: str,
+        factory: Callable | None = None,
+        *,
+        aliases: tuple[str, ...] = (),
+        overwrite: bool = False,
+    ):
         """Register ``factory`` under ``name`` (and optional aliases).
 
         Usable directly (``REG.register("x", build_x)``) or as a decorator
-        (``@REG.register("x")``). Re-registering an existing name replaces the
-        old factory, so user code can override the built-ins.
+        (``@REG.register("x")``). Registering a name or alias that is already
+        taken raises :class:`DuplicateNameError`; pass ``overwrite=True`` to
+        deliberately replace a built-in.
         """
 
         def _store(func: Callable) -> Callable:
-            for key in (name, *aliases):
-                self._factories[str(key)] = func
+            keys = [str(key) for key in (name, *aliases)]
+            if not overwrite:
+                taken = sorted(key for key in keys if key in self._factories)
+                if taken:
+                    raise DuplicateNameError(
+                        f"{self.kind} name(s) {taken} already registered; "
+                        "pass overwrite=True to replace"
+                    )
+            for key in keys:
+                self._factories[key] = func
             return func
 
         if factory is not None:
@@ -131,19 +155,19 @@ PULSES = Registry("laser pulse")
 PROPAGATORS = Registry("propagator")
 
 
-def register_structure(name: str, *, aliases: tuple[str, ...] = ()):
+def register_structure(name: str, *, aliases: tuple[str, ...] = (), overwrite: bool = False):
     """Decorator registering a structure factory ``(**params) -> Structure``."""
-    return STRUCTURES.register(name, aliases=aliases)
+    return STRUCTURES.register(name, aliases=aliases, overwrite=overwrite)
 
 
-def register_pulse(name: str, *, aliases: tuple[str, ...] = ()):
+def register_pulse(name: str, *, aliases: tuple[str, ...] = (), overwrite: bool = False):
     """Decorator registering a pulse factory ``(**params) -> pulse | None``."""
-    return PULSES.register(name, aliases=aliases)
+    return PULSES.register(name, aliases=aliases, overwrite=overwrite)
 
 
-def register_propagator(name: str, *, aliases: tuple[str, ...] = ()):
+def register_propagator(name: str, *, aliases: tuple[str, ...] = (), overwrite: bool = False):
     """Decorator registering a propagator factory ``(hamiltonian, **params)``."""
-    return PROPAGATORS.register(name, aliases=aliases)
+    return PROPAGATORS.register(name, aliases=aliases, overwrite=overwrite)
 
 
 # ---------------------------------------------------------------------------

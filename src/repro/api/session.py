@@ -11,6 +11,7 @@ benchmark in this repository used to hand-wire.
 
 from __future__ import annotations
 
+from .. import __version__ as _repro_version
 from ..analysis import format_table
 from ..constants import attoseconds_to_au
 from ..core.dynamics import TDDFTSimulation, Trajectory
@@ -199,8 +200,27 @@ class Session:
                 record_energy=cfg.run.record_energy,
                 record_dipole=cfg.run.record_dipole,
             )
+            # stamp the *effective* config of this run (overrides folded in),
+            # not the session's base config, so archived trajectories can be
+            # reproduced from their own metadata even when a batch driver ran
+            # many variants through one shared session
+            effective = cfg.with_overrides(
+                {
+                    "propagator": {"name": name, "params": dict(params)},
+                    "run": {"time_step_as": dt_as, "n_steps": steps},
+                }
+            )
+            metadata = {
+                "propagator": name,
+                "integrator": scheme.name,
+                "propagator_params": dict(params),
+                "time_step_as": dt_as,
+                "n_steps": steps,
+                "config": effective.to_dict(),
+                "repro_version": _repro_version,
+            }
             trajectory = simulation.run(
-                self.initial_wavefunction(), attoseconds_to_au(dt_as), steps
+                self.initial_wavefunction(), attoseconds_to_au(dt_as), steps, metadata=metadata
             )
             self._trajectories[key] = trajectory
             base = f"{scheme.name} @ {dt_as:g} as"

@@ -1,0 +1,109 @@
+"""On-disk checkpointing of completed sweep jobs (resume-after-crash).
+
+Each completed job persists as two files in the checkpoint directory:
+
+* ``<job_id>.npz`` — the trajectory (observables + final orbitals), written
+  first via :meth:`~repro.core.dynamics.Trajectory.save_npz`;
+* ``<job_id>.json`` — the manifest (point, config, config hash, summary),
+  written atomically *after* the npz, so a manifest on disk guarantees a
+  complete archive next to it. A crash mid-job leaves no manifest and the job
+  simply reruns on resume.
+
+Staleness is guarded twice: the job id embeds a hash of the expanded config
+(a changed sweep produces different ids), and :meth:`CheckpointStore.load`
+re-checks the stored hash against the live job before trusting a manifest.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+from ..core.dynamics import Trajectory, json_default
+from .report import JobResult
+from .sweep import SweepJob, config_hash
+
+__all__ = ["CheckpointStore"]
+
+
+class CheckpointStore:
+    """Directory-backed store of completed :class:`~repro.batch.JobResult`\\ s."""
+
+    def __init__(self, directory):
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def manifest_path(self, job_id: str) -> pathlib.Path:
+        """Path of the job's JSON manifest."""
+        return self.directory / f"{job_id}.json"
+
+    def trajectory_path(self, job_id: str) -> pathlib.Path:
+        """Path of the job's trajectory archive."""
+        return self.directory / f"{job_id}.npz"
+
+    def completed_ids(self) -> set[str]:
+        """Ids of every job with a manifest in the store."""
+        return {path.stem for path in self.directory.glob("*.json")}
+
+    # ------------------------------------------------------------------
+    def _read_manifest(self, job: SweepJob) -> dict | None:
+        path = self.manifest_path(job.job_id)
+        if not path.exists():
+            return None
+        try:
+            manifest = json.loads(path.read_text())
+        except (ValueError, OSError):
+            return None  # truncated/corrupt manifest: treat as absent, rerun
+        if manifest.get("config_hash") != config_hash(job.config):
+            return None  # stale: the config behind this id changed
+        if manifest.get("status") != "completed":
+            return None
+        return manifest
+
+    def has(self, job: SweepJob) -> bool:
+        """Whether a fresh, complete checkpoint exists for ``job``."""
+        return self._read_manifest(job) is not None and self.trajectory_path(job.job_id).exists()
+
+    def load(self, job: SweepJob) -> JobResult | None:
+        """The checkpointed result for ``job`` (status ``"cached"``), or
+        ``None`` if absent/stale — in which case the caller just reruns."""
+        manifest = self._read_manifest(job)
+        if manifest is None:
+            return None
+        traj_path = self.trajectory_path(job.job_id)
+        if not traj_path.exists():
+            return None
+        trajectory = Trajectory.load_npz(traj_path)  # observables only, no basis
+        return JobResult(
+            index=job.index,
+            job_id=job.job_id,
+            point=manifest.get("point", dict(job.point)),
+            config=manifest.get("config", job.config.to_dict()),
+            status="cached",
+            summary=manifest.get("summary", {}),
+            trajectory=trajectory,
+        )
+
+    def save(self, result: JobResult) -> None:
+        """Persist a completed result (trajectory first, manifest last)."""
+        if result.trajectory is None or result.trajectory.final_wavefunction is None:
+            raise ValueError(
+                f"cannot checkpoint job {result.job_id!r}: it has no full trajectory"
+            )
+        self.directory.mkdir(parents=True, exist_ok=True)
+        result.trajectory.save_npz(self.trajectory_path(result.job_id))
+        manifest = {
+            "job_id": result.job_id,
+            "index": result.index,
+            "point": result.point,
+            "config": result.config,
+            "config_hash": config_hash(result.config),
+            "status": "completed",
+            "summary": result.summary,
+        }
+        path = self.manifest_path(result.job_id)
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(manifest, indent=2, default=json_default))
+        os.replace(tmp, path)

@@ -1,0 +1,325 @@
+"""Sweep results: the per-job record and the aggregated report.
+
+:class:`JobResult` is the JSON-round-trippable outcome of one sweep job
+(summary metrics plus the recorded trajectory observables);
+:class:`SweepReport` aggregates them into the tables the paper's comparisons
+are made of — a flat per-job table, a propagator-x-dt pivot, the Fig. 6-style
+cost comparison, and a dt-vs-accuracy table against a reference job.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..analysis import format_table, pivot_table
+from ..core.dynamics import Trajectory, json_default
+
+__all__ = ["JobResult", "SweepReport"]
+
+#: statuses of jobs that produced a usable trajectory
+_OK_STATUSES = ("completed", "cached")
+
+
+@dataclass
+class JobResult:
+    """Outcome of one sweep job.
+
+    Attributes
+    ----------
+    index, job_id, point, config:
+        Copied from the :class:`~repro.batch.sweep.SweepJob` (``config`` in
+        dict form, so results stay JSON-serializable).
+    status:
+        ``"completed"`` (ran in this sweep), ``"cached"`` (loaded from a
+        checkpoint) or ``"failed"``.
+    summary:
+        Scalar metrics of the run (Fock applications, SCF statistics, energy
+        drift, final observables, wall time).
+    trajectory:
+        The recorded observables; ``None`` for failed jobs. Loaded/worker
+        results carry observables only (no final wavefunction).
+    error:
+        ``"ExcType: message"`` for failed jobs, else ``None``.
+    """
+
+    index: int
+    job_id: str
+    point: dict
+    config: dict
+    status: str
+    summary: dict = field(default_factory=dict)
+    trajectory: Trajectory | None = None
+    error: str | None = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_trajectory(cls, job, trajectory: Trajectory, status: str = "completed") -> "JobResult":
+        """Build a successful result from a finished trajectory."""
+        summary = {
+            "propagator": job.config.propagator.name,
+            "integrator": trajectory.metadata.get("integrator", job.config.propagator.name),
+            "time_step_as": float(job.config.run.time_step_as),
+            "n_steps": int(trajectory.n_steps),
+            "hamiltonian_applications": trajectory.total_hamiltonian_applications,
+            "average_scf_iterations": trajectory.average_scf_iterations,
+            "energy_drift": trajectory.energy_drift,
+            "wall_time": trajectory.wall_time,
+            "final_energy": float(trajectory.energies[-1]),
+            "final_electron_number": float(trajectory.electron_numbers[-1]),
+            "final_dipole": [float(x) for x in trajectory.dipoles[-1]],
+        }
+        return cls(
+            index=job.index,
+            job_id=job.job_id,
+            point=copy.deepcopy(job.point),
+            config=job.config.to_dict(),
+            status=status,
+            summary=summary,
+            trajectory=trajectory,
+        )
+
+    @classmethod
+    def from_failure(cls, job, exc: BaseException) -> "JobResult":
+        """Build a failed result recording the exception."""
+        return cls(
+            index=job.index,
+            job_id=job.job_id,
+            point=copy.deepcopy(job.point),
+            config=job.config.to_dict(),
+            status="failed",
+            error=f"{type(exc).__name__}: {exc}",
+        )
+
+    @property
+    def ok(self) -> bool:
+        """Whether the job produced a usable trajectory."""
+        return self.status in _OK_STATUSES
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """A JSON-serializable form (trajectory reduced to its observables)."""
+        return {
+            "index": self.index,
+            "job_id": self.job_id,
+            "point": copy.deepcopy(self.point),
+            "config": copy.deepcopy(self.config),
+            "status": self.status,
+            "summary": copy.deepcopy(self.summary),
+            "trajectory": self.trajectory.to_dict() if self.trajectory is not None else None,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobResult":
+        """Inverse of :meth:`to_dict`."""
+        trajectory = data.get("trajectory")
+        return cls(
+            index=int(data["index"]),
+            job_id=str(data["job_id"]),
+            point=copy.deepcopy(data.get("point", {})),
+            config=copy.deepcopy(data.get("config", {})),
+            status=str(data["status"]),
+            summary=copy.deepcopy(data.get("summary", {})),
+            trajectory=Trajectory.from_dict(trajectory) if trajectory is not None else None,
+            error=data.get("error"),
+        )
+
+
+class SweepReport:
+    """Aggregated results of one sweep, in job order.
+
+    Parameters
+    ----------
+    results:
+        The :class:`JobResult` list (any order; sorted by job index).
+    axes:
+        The sweep's axis paths, used as the leading table columns.
+    """
+
+    def __init__(self, results: list[JobResult], axes: list[str] | None = None):
+        self.results = sorted(results, key=lambda r: r.index)
+        self.axes = list(axes or [])
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    @property
+    def completed(self) -> list[JobResult]:
+        """Jobs with a usable trajectory (freshly run or checkpoint-loaded)."""
+        return [r for r in self.results if r.ok]
+
+    @property
+    def failed(self) -> list[JobResult]:
+        """Jobs that raised."""
+        return [r for r in self.results if r.status == "failed"]
+
+    def result_for(self, job_id: str) -> JobResult:
+        """The result with the given ``job_id``."""
+        for result in self.results:
+            if result.job_id == job_id:
+                return result
+        known = [r.job_id for r in self.results]
+        raise KeyError(f"unknown job_id {job_id!r}; known ids: {known}")
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """A JSON-serializable summary of the whole sweep."""
+        return {
+            "axes": list(self.axes),
+            "n_jobs": len(self.results),
+            "n_completed": len(self.completed),
+            "n_failed": len(self.failed),
+            "jobs": [r.to_dict() for r in self.results],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """JSON text of :meth:`to_dict` (numpy axis values coerced)."""
+        return json.dumps(self.to_dict(), indent=indent, default=json_default)
+
+    # ------------------------------------------------------------------
+    # Tables
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _format_point_value(value) -> str:
+        if isinstance(value, dict):
+            return ",".join(f"{k}={v}" for k, v in value.items())
+        return str(value)
+
+    def to_table(self) -> str:
+        """One row per job: axis values, status and the core cost metrics."""
+        headers = (
+            ["job"]
+            + self.axes
+            + ["status", "steps", "dt [as]", "Fock applies", "avg SCF/step", "energy drift [Ha]", "wall [s]"]
+        )
+        rows = []
+        for r in self.results:
+            s = r.summary
+            rows.append(
+                [r.job_id]
+                + [self._format_point_value(r.point.get(axis, "-")) for axis in self.axes]
+                + [
+                    r.status if r.error is None else f"{r.status}: {r.error}",
+                    s.get("n_steps", "-"),
+                    s.get("time_step_as", "-"),
+                    s.get("hamiltonian_applications", "-"),
+                    s.get("average_scf_iterations", "-"),
+                    s.get("energy_drift", "-"),
+                    s.get("wall_time", "-"),
+                ]
+            )
+        return format_table(headers, rows)
+
+    def fig6_table(self) -> str:
+        """The Fig. 6-style cost comparison: one row per completed run.
+
+        Matches the shape of the measured ``bench_fig6`` table — integrator
+        vs time step vs Fock-application count — plus the energy drift and
+        wall time the accuracy discussion needs.
+        """
+        headers = ["integrator", "time step [as]", "steps", "Fock applications", "energy drift [Ha]", "wall [s]"]
+        rows = [
+            [
+                r.summary.get("integrator", r.summary.get("propagator", "?")),
+                r.summary.get("time_step_as", "-"),
+                r.summary.get("n_steps", "-"),
+                r.summary.get("hamiltonian_applications", "-"),
+                r.summary.get("energy_drift", "-"),
+                r.summary.get("wall_time", "-"),
+            ]
+            for r in self.completed
+        ]
+        return format_table(headers, rows)
+
+    def pivot(self, value: str, index: str = "propagator", columns: str = "time_step_as") -> str:
+        """Pivot a summary metric over two summary keys (completed jobs only).
+
+        ``value``/``index``/``columns`` address :attr:`JobResult.summary`
+        keys, e.g. ``pivot("hamiltonian_applications")`` for the
+        propagator-x-dt Fock-cost grid.
+        """
+        records = [r.summary for r in self.completed]
+        return pivot_table(records, index=index, columns=columns, value=value)
+
+    # ------------------------------------------------------------------
+    # Accuracy vs a reference job
+    # ------------------------------------------------------------------
+    def reference_result(self, reference_job_id: str | None = None) -> JobResult:
+        """The accuracy reference: an explicit job id, or the smallest-dt run."""
+        if reference_job_id is not None:
+            result = self.result_for(reference_job_id)
+            if not result.ok:
+                raise ValueError(f"reference job {reference_job_id!r} did not complete")
+            return result
+        completed = self.completed
+        if not completed:
+            raise ValueError("no completed jobs to choose a reference from")
+        return min(completed, key=lambda r: (r.summary.get("time_step_as", np.inf), r.index))
+
+    def accuracy_errors(self, reference_job_id: str | None = None) -> dict[str, dict]:
+        """Max |energy| and |dipole| deviation of every completed job from the
+        reference, evaluated on the overlapping time window (the reference
+        series is linearly interpolated onto each job's time grid).
+
+        Returns ``{job_id: {"energy_error": float, "dipole_error": float}}``.
+        """
+        reference = self.reference_result(reference_job_id)
+        ref_traj = reference.trajectory
+        if ref_traj is None:
+            raise ValueError(f"reference job {reference.job_id!r} carries no trajectory")
+        t_ref = np.asarray(ref_traj.times, dtype=float)
+        errors: dict[str, dict] = {}
+        for r in self.completed:
+            traj = r.trajectory
+            if traj is None:
+                continue
+            t = np.asarray(traj.times, dtype=float)
+            mask = t <= t_ref[-1] + 1e-12
+            if not np.any(mask):
+                errors[r.job_id] = {"energy_error": float("nan"), "dipole_error": float("nan")}
+                continue
+            t_common = t[mask]
+            e_interp = np.interp(t_common, t_ref, np.asarray(ref_traj.energies, dtype=float))
+            energy_error = float(np.max(np.abs(np.asarray(traj.energies)[mask] - e_interp)))
+            dipoles = np.asarray(traj.dipoles, dtype=float)
+            ref_dipoles = np.asarray(ref_traj.dipoles, dtype=float)
+            dipole_error = max(
+                float(
+                    np.max(np.abs(dipoles[mask, axis] - np.interp(t_common, t_ref, ref_dipoles[:, axis])))
+                )
+                for axis in range(dipoles.shape[1])
+            )
+            errors[r.job_id] = {"energy_error": energy_error, "dipole_error": dipole_error}
+        return errors
+
+    def accuracy_table(self, reference_job_id: str | None = None) -> str:
+        """The dt-vs-accuracy table: deviation of each run from the reference."""
+        reference = self.reference_result(reference_job_id)
+        errors = self.accuracy_errors(reference.job_id)
+        headers = ["integrator", "dt [as]", "steps", "max |dE| [Ha]", "max |dD| [a.u.]", "note"]
+        rows = []
+        for r in self.completed:
+            if r.job_id not in errors:
+                continue
+            err = errors[r.job_id]
+            rows.append(
+                [
+                    r.summary.get("integrator", r.summary.get("propagator", "?")),
+                    r.summary.get("time_step_as", "-"),
+                    r.summary.get("n_steps", "-"),
+                    err["energy_error"],
+                    err["dipole_error"],
+                    "(reference)" if r.job_id == reference.job_id else "",
+                ]
+            )
+        return format_table(headers, rows)

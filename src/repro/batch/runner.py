@@ -1,0 +1,206 @@
+"""The sweep execution engine on top of :class:`repro.api.Session`.
+
+:class:`BatchRunner` executes the jobs of a :class:`~repro.batch.SweepSpec`
+and aggregates them into a :class:`~repro.batch.SweepReport`:
+
+* **Ground-state sharing.** Jobs are grouped by
+  :func:`~repro.batch.sweep.ground_state_group_key`; each group runs through
+  one caching :class:`~repro.api.Session`, so a {propagator} x {dt} sweep
+  converges its SCF exactly once no matter how many propagations fan out.
+* **Backends.** ``"serial"`` runs in-process; ``"process"`` dispatches one
+  worker task per group to a :class:`~concurrent.futures.ProcessPoolExecutor`
+  (whole groups, so the one-SCF-per-group property survives the pool), and
+  falls back to serial if no pool can be created.
+* **Checkpointing.** With a ``checkpoint_dir``, every completed job is
+  persisted via :class:`~repro.batch.CheckpointStore`; a rerun of the same
+  sweep loads finished jobs (status ``"cached"``) instead of recomputing
+  them — resume-after-crash is just "run it again".
+
+.. code-block:: python
+
+    report = BatchRunner(
+        SweepSpec(base, {"propagator.name": ["ptcn", "rk4"],
+                         "run.time_step_as": [10.0, 50.0]}),
+        checkpoint_dir="sweep-ckpt",
+    ).run()
+    print(report.fig6_table())
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+
+from ..api.session import Session
+from .checkpoint import CheckpointStore
+from .report import JobResult, SweepReport
+from .sweep import SweepJob, SweepSpec
+
+__all__ = ["BatchRunner"]
+
+
+def _execute_group(
+    jobs: list[SweepJob],
+    checkpoint_dir,
+    raise_on_error: bool,
+    session: Session | None = None,
+) -> list[JobResult]:
+    """Run one ground-state group of jobs through a shared session.
+
+    The session is built lazily from the first job's config, so a fully
+    checkpointed group never touches the physics stack at all. With
+    ``raise_on_error`` the first failing job aborts the group *after* the
+    checkpoints of the jobs before it were written — which is what makes a
+    crashed sweep resumable.
+    """
+    store = CheckpointStore(checkpoint_dir) if checkpoint_dir is not None else None
+    results: list[JobResult] = []
+    for job in jobs:
+        if store is not None:
+            cached = store.load(job)
+            if cached is not None:
+                results.append(cached)
+                continue
+        if session is None:
+            session = Session(jobs[0].config)
+        try:
+            run_cfg = job.config.run
+            trajectory = session.propagate(
+                job.config.propagator.name,
+                time_step_as=run_cfg.time_step_as,
+                n_steps=run_cfg.n_steps,
+                params=dict(job.config.propagator.params),
+            )
+        except Exception as exc:
+            if raise_on_error:
+                raise
+            results.append(JobResult.from_failure(job, exc))
+            continue
+        result = JobResult.from_trajectory(job, trajectory)
+        if store is not None:
+            try:
+                store.save(result)
+            except Exception as exc:
+                # a persistence failure (full disk, unwritable dir) must not
+                # discard finished physics or abort the sweep: the job stays
+                # completed but unsaved, and a rerun recomputes it
+                result.error = f"checkpoint write failed: {type(exc).__name__}: {exc}"
+                warnings.warn(f"job {job.job_id}: {result.error}")
+        results.append(result)
+    return results
+
+
+def _run_group_worker(payload) -> list[dict]:
+    """Process-pool entry point: run a group, return JSON-able result dicts.
+
+    Results cross the process boundary in dict form (observables only) to
+    avoid pickling wavefunctions and grids; checkpoints written inside the
+    worker keep the full trajectories on disk.
+    """
+    jobs, checkpoint_dir, raise_on_error = payload
+    results = _execute_group(jobs, checkpoint_dir, raise_on_error)
+    return [result.to_dict() for result in results]
+
+
+class BatchRunner:
+    """Execute a sweep: expand, group, run, checkpoint, aggregate.
+
+    Parameters
+    ----------
+    spec:
+        The :class:`~repro.batch.SweepSpec` to execute.
+    checkpoint_dir:
+        Directory for per-job checkpoints; ``None`` disables checkpointing.
+    backend:
+        ``"serial"`` (default) or ``"process"``. The process backend ships
+        one *group* per worker task; custom components registered at runtime
+        are only visible to workers on fork-based platforms.
+    max_workers:
+        Process-pool size (default: CPU count), capped at the group count.
+    raise_on_error:
+        If ``True``, the first failing job re-raises (completed jobs keep
+        their checkpoints, so the sweep is resumable). If ``False`` (default)
+        failures are recorded as ``"failed"`` results and the sweep continues.
+    """
+
+    def __init__(
+        self,
+        spec: SweepSpec,
+        *,
+        checkpoint_dir=None,
+        backend: str = "serial",
+        max_workers: int | None = None,
+        raise_on_error: bool = False,
+    ):
+        if backend not in ("serial", "process"):
+            raise ValueError(f"backend must be 'serial' or 'process', got {backend!r}")
+        self.spec = spec
+        self.checkpoint_dir = checkpoint_dir
+        self.backend = backend
+        self.max_workers = max_workers
+        self.raise_on_error = bool(raise_on_error)
+        self._sessions: dict[str, Session] = {}
+
+    # ------------------------------------------------------------------
+    def groups(self) -> dict[str, list[SweepJob]]:
+        """Expanded jobs grouped by ground-state key, in expansion order."""
+        grouped: dict[str, list[SweepJob]] = {}
+        for job in self.spec.expand():
+            grouped.setdefault(job.group_key, []).append(job)
+        return grouped
+
+    def prepare_ground_states(self) -> int:
+        """Converge (in-process) the shared ground state of every group that
+        still has uncheckpointed jobs; returns the number of SCFs run.
+
+        Separates the expensive warm-up from :meth:`run` — benchmarks time the
+        sweep without the SCF, services can prepare caches ahead of traffic.
+        Only the serial backend reuses these warm sessions (process workers
+        rebuild their own); the one-SCF-per-group property holds either way.
+        """
+        store = CheckpointStore(self.checkpoint_dir) if self.checkpoint_dir is not None else None
+        count = 0
+        for key, jobs in self.groups().items():
+            if store is not None and all(store.has(job) for job in jobs):
+                continue
+            session = self._sessions.get(key)
+            if session is None:
+                session = Session(jobs[0].config)
+                self._sessions[key] = session
+            session.ground_state()
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    def run(self) -> SweepReport:
+        """Execute every job and return the aggregated report."""
+        grouped = self.groups()
+        results: list[JobResult] = []
+        executor = None
+        if self.backend == "process" and len(grouped) > 1:
+            workers = min(self.max_workers or os.cpu_count() or 1, len(grouped))
+            try:
+                executor = ProcessPoolExecutor(max_workers=workers)
+            except (OSError, ValueError, ImportError) as exc:
+                warnings.warn(f"process pool unavailable ({exc}); falling back to serial backend")
+                executor = None
+        if executor is not None:
+            with executor:
+                futures = [
+                    executor.submit(_run_group_worker, (jobs, self.checkpoint_dir, self.raise_on_error))
+                    for jobs in grouped.values()
+                ]
+                for future in futures:
+                    results.extend(JobResult.from_dict(d) for d in future.result())
+        else:
+            for key, jobs in grouped.items():
+                results.extend(
+                    _execute_group(
+                        jobs,
+                        self.checkpoint_dir,
+                        self.raise_on_error,
+                        session=self._sessions.get(key),
+                    )
+                )
+        return SweepReport(results, axes=self.spec.axis_paths)

@@ -9,6 +9,8 @@ is the Python-level counterpart of the outer time loop of the paper's runs
 
 from __future__ import annotations
 
+import copy
+import json
 from dataclasses import dataclass, field
 import time as _wallclock
 
@@ -19,7 +21,23 @@ from ..pw.hamiltonian import Hamiltonian
 from .observables import dipole_moment, electron_number, energy_drift
 from .propagators.base import Propagator, StepStatistics
 
-__all__ = ["Trajectory", "TDDFTSimulation"]
+__all__ = ["Trajectory", "TDDFTSimulation", "json_default"]
+
+
+def json_default(value):
+    """``json.dumps`` default handler coercing numpy scalars/arrays to native
+    types — configs and sweep axes are routinely built from ``np.arange`` /
+    ``np.linspace``, and their values end up in trajectory metadata and batch
+    checkpoint manifests."""
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"Object of type {type(value).__name__} is not JSON serializable")
 
 
 @dataclass
@@ -28,6 +46,12 @@ class Trajectory:
 
     All arrays have one entry per recorded state, including the initial state,
     so their length is ``n_steps + 1``.
+
+    ``metadata`` carries free-form, JSON-serializable provenance: the driver
+    that produced the trajectory records what was run (propagator, step size,
+    full config, package version) so that archived/checkpointed trajectories
+    remain self-describing. It round-trips through :meth:`to_dict`,
+    :meth:`save_npz` and :meth:`load_npz`.
     """
 
     times: np.ndarray
@@ -40,6 +64,7 @@ class Trajectory:
     wall_time: float
     final_wavefunction: Wavefunction | None
     step_statistics: list[StepStatistics] = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @property
@@ -93,7 +118,23 @@ class Trajectory:
         """
         out = {name: np.asarray(getattr(self, name)).tolist() for name in self._ARRAY_FIELDS}
         out["wall_time"] = float(self.wall_time)
+        out["metadata"] = copy.deepcopy(self.metadata)
         return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Trajectory":
+        """Rebuild a trajectory from :meth:`to_dict` output.
+
+        Only the recorded observables (and metadata) are restored; the final
+        wavefunction and per-step statistics are not part of the dict form.
+        """
+        return cls(
+            **{name: np.asarray(data[name]) for name in cls._ARRAY_FIELDS},
+            wall_time=float(data.get("wall_time", 0.0)),
+            final_wavefunction=None,
+            step_statistics=[],
+            metadata=copy.deepcopy(data.get("metadata", {})),
+        )
 
     def save_npz(self, path) -> None:
         """Save observables and the final orbitals to a ``.npz`` archive.
@@ -111,6 +152,7 @@ class Trajectory:
         np.savez(
             path,
             wall_time=np.float64(self.wall_time),
+            metadata_json=json.dumps(self.metadata, default=json_default),
             final_coefficients=self.final_wavefunction.coefficients,
             final_occupations=self.final_wavefunction.occupations,
             **arrays,
@@ -136,10 +178,14 @@ class Trajectory:
                 wavefunction = Wavefunction(
                     basis, data["final_coefficients"], data["final_occupations"]
                 )
+            metadata = {}
+            if "metadata_json" in data.files:  # archives predating metadata lack it
+                metadata = json.loads(str(data["metadata_json"][()]))
             return cls(
                 wall_time=float(data["wall_time"]),
                 final_wavefunction=wavefunction,
                 step_statistics=[],
+                metadata=metadata,
                 **kwargs,
             )
 
@@ -181,6 +227,7 @@ class TDDFTSimulation:
         n_steps: int,
         start_time: float = 0.0,
         callback=None,
+        metadata: dict | None = None,
     ) -> Trajectory:
         """Propagate ``initial_state`` for ``n_steps`` steps of ``time_step``.
 
@@ -197,6 +244,9 @@ class TDDFTSimulation:
         callback:
             Optional callable ``(step_index, time, wavefunction, stats)``
             invoked after every step (used by examples for progress output).
+        metadata:
+            Optional JSON-serializable provenance dict attached verbatim to
+            the returned :class:`Trajectory`.
         """
         if n_steps < 1:
             raise ValueError("n_steps must be >= 1")
@@ -245,6 +295,7 @@ class TDDFTSimulation:
             wall_time=wall_time,
             final_wavefunction=wavefunction,
             step_statistics=statistics,
+            metadata=copy.deepcopy(metadata) if metadata else {},
         )
 
     # ------------------------------------------------------------------

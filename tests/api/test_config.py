@@ -113,6 +113,46 @@ def test_bad_values_raise_actionable_errors(section, payload, fragment):
 
 
 # ---------------------------------------------------------------------------
+# Override expansion hook (used by repro.batch sweeps)
+# ---------------------------------------------------------------------------
+
+
+def test_with_overrides_replaces_dotted_paths():
+    config = SimulationConfig.from_dict(QUICKSTART_DICT)
+    swept = config.with_overrides(
+        {"run.time_step_as": 10.0, "propagator.name": "rk4", "laser.params.amplitude": 0.01}
+    )
+    assert swept.run.time_step_as == 10.0
+    assert swept.propagator.name == "rk4"
+    assert swept.laser.params["amplitude"] == 0.01
+    # everything else untouched, original config unmodified
+    assert swept.basis == config.basis
+    assert config.run.time_step_as == 50.0
+    assert config.laser.params["amplitude"] == 0.005
+
+
+def test_with_overrides_section_merge_keeps_other_fields():
+    config = SimulationConfig.from_dict(QUICKSTART_DICT)
+    swept = config.with_overrides({"run": {"time_step_as": 5.0, "n_steps": 20}})
+    assert swept.run.time_step_as == 5.0 and swept.run.n_steps == 20
+    assert swept.run.gs_scf_tolerance == config.run.gs_scf_tolerance
+
+
+def test_with_overrides_validates_result():
+    config = SimulationConfig.from_dict(QUICKSTART_DICT)
+    with pytest.raises(ConfigError, match="run.time_step_as"):
+        config.with_overrides({"run.time_step_as": -1.0})
+    with pytest.raises(UnknownNameError, match="ptcn"):
+        config.with_overrides({"propagator.name": "leapfrog"})
+    with pytest.raises(ConfigError, match="valid sections"):
+        config.with_overrides({"basiss.ecut": 2.0})
+    with pytest.raises(ConfigError, match="unknown key"):
+        config.with_overrides({"basis.cutoff": 2.0})
+    with pytest.raises(ConfigError, match="non-empty string"):
+        config.with_overrides({3: 1.0})
+
+
+# ---------------------------------------------------------------------------
 # Registry resolution
 # ---------------------------------------------------------------------------
 

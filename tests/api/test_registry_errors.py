@@ -1,0 +1,117 @@
+"""Registry error paths: typo'd names list the valid set, duplicates raise.
+
+Complements the happy-path registry tests in ``test_config.py`` with the
+failure modes a config author or plugin writer actually hits.
+"""
+
+import pytest
+
+from repro.api import (
+    PROPAGATORS,
+    PULSES,
+    STRUCTURES,
+    DuplicateNameError,
+    Registry,
+    Session,
+    SimulationConfig,
+    UnknownNameError,
+    register_propagator,
+)
+
+
+# ---------------------------------------------------------------------------
+# Typo'd names fail with the valid names listed
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "section, payload, expected_names",
+    [
+        ({"system": {"structure": "hdyrogen_molecule"}}, "hdyrogen_molecule", ["hydrogen_molecule", "silicon_supercell"]),
+        ({"laser": {"pulse": "gausian"}}, "gausian", ["gaussian", "delta_kick", "none"]),
+        ({"propagator": {"name": "pt_cn_typo"}}, "pt_cn_typo", ["ptcn", "rk4", "etrs", "cn"]),
+    ],
+)
+def test_typod_config_names_list_the_valid_ones(section, payload, expected_names):
+    with pytest.raises(UnknownNameError) as excinfo:
+        SimulationConfig.from_dict(section)
+    message = str(excinfo.value)
+    assert payload in message
+    for name in expected_names:
+        assert name in message
+
+
+def test_session_construction_validates_names_eagerly():
+    config = SimulationConfig()  # valid defaults
+    object.__setattr__(config.propagator, "name", "wavelet")  # sneak past __post_init__
+    with pytest.raises(UnknownNameError, match="wavelet"):
+        Session(config)
+
+
+def test_unknown_name_error_message_is_unquoted():
+    try:
+        PROPAGATORS.get("nope")
+    except UnknownNameError as exc:
+        assert str(exc).startswith("unknown propagator")  # no KeyError quoting
+    else:
+        pytest.fail("lookup should have raised")
+
+
+def test_unregister_unknown_name_raises_with_listing():
+    with pytest.raises(UnknownNameError, match="registered propagators"):
+        PROPAGATORS.unregister("never_registered")
+
+
+# ---------------------------------------------------------------------------
+# Duplicate registration
+# ---------------------------------------------------------------------------
+
+
+class TestDuplicateRegistration:
+    def test_duplicate_name_raises_cleanly(self):
+        registry = Registry("thing")
+        registry.register("x", lambda: 1)
+        with pytest.raises(DuplicateNameError, match=r"\['x'\].*overwrite=True"):
+            registry.register("x", lambda: 2)
+        assert registry.create("x") == 1  # original untouched
+
+    def test_duplicate_alias_raises_and_registers_nothing(self):
+        registry = Registry("thing")
+        registry.register("x", lambda: 1)
+        with pytest.raises(DuplicateNameError, match="x"):
+            registry.register("y", lambda: 2, aliases=("x",))
+        assert "y" not in registry  # the clash aborted the whole registration
+
+    def test_overwrite_true_replaces(self):
+        registry = Registry("thing")
+        registry.register("x", lambda: 1)
+        registry.register("x", lambda: 2, overwrite=True)
+        assert registry.create("x") == 2
+
+    def test_builtin_propagator_names_are_protected(self):
+        with pytest.raises(DuplicateNameError, match="ptcn"):
+            PROPAGATORS.register("ptcn", lambda ham: None)
+        # and via the module-level decorator too
+        with pytest.raises(DuplicateNameError, match="rk4"):
+            @register_propagator("rk4")
+            def build(hamiltonian, **params):  # pragma: no cover - never registered
+                return None
+
+    def test_decorator_overwrite_roundtrip(self):
+        sentinel = PROPAGATORS.get("rk4")
+
+        @register_propagator("rk4", overwrite=True)
+        def build(hamiltonian, **params):
+            return ("replacement", hamiltonian)
+
+        try:
+            assert PROPAGATORS.create("rk4", None) == ("replacement", None)
+        finally:
+            PROPAGATORS.register("rk4", sentinel, overwrite=True)
+        assert PROPAGATORS.get("rk4") is sentinel
+
+    def test_builtin_structures_and_pulses_protected(self):
+        with pytest.raises(DuplicateNameError):
+            STRUCTURES.register("hydrogen_molecule", lambda **kw: None)
+        with pytest.raises(DuplicateNameError):
+            PULSES.register("gaussian", lambda **kw: None)

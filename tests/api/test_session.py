@@ -179,6 +179,53 @@ def test_compare_propagators_ptcn_vs_rk4():
 
 
 # ---------------------------------------------------------------------------
+# Cache isolation and sharing (SCF call counting)
+# ---------------------------------------------------------------------------
+
+
+def test_sessions_with_different_configs_never_share_ground_state(tiny_config, count_scf_solves):
+    """Cache staleness guard: the ground-state cache is strictly per-session,
+    so a config change can never be served a stale SCF result."""
+    first = Session(tiny_config)
+    second = Session(tiny_config.with_overrides({"basis.ecut": 1.5}))
+    gs_first = first.ground_state()
+    gs_second = second.ground_state()
+    assert len(count_scf_solves) == 2
+    assert gs_first is not gs_second
+    assert gs_first.total_energy != gs_second.total_energy
+
+
+def test_sessions_with_equal_configs_still_solve_independently(tiny_config, count_scf_solves):
+    """Two sessions over the same config are isolated instances — one's
+    cache mutating can never leak into the other."""
+    a = Session(tiny_config)
+    b = Session(tiny_config)
+    gs_a = a.ground_state()
+    gs_b = b.ground_state()
+    assert len(count_scf_solves) == 2
+    assert gs_a is not gs_b
+    assert gs_a.total_energy == pytest.approx(gs_b.total_energy, abs=1e-12)
+
+
+def test_compare_propagators_converges_exactly_one_ground_state(tiny_config, count_scf_solves):
+    runs = compare_propagators(tiny_config, ["ptcn", "rk4", "etrs"])
+    assert len(count_scf_solves) == 1
+    assert list(runs) == ["ptcn", "rk4", "etrs"]
+
+
+def test_propagate_attaches_provenance_metadata(api_session):
+    trajectory = api_session.propagate()
+    metadata = trajectory.metadata
+    assert metadata["propagator"] == "ptcn"
+    assert metadata["integrator"] == "PT-CN"
+    assert metadata["time_step_as"] == 50.0
+    assert metadata["config"] == api_session.config.to_dict()
+    import repro
+
+    assert metadata["repro_version"] == repro.__version__
+
+
+# ---------------------------------------------------------------------------
 # Serialization round trips
 # ---------------------------------------------------------------------------
 
@@ -191,6 +238,7 @@ def test_trajectory_npz_round_trip(api_session, tmp_path):
     for name in Trajectory._ARRAY_FIELDS:
         np.testing.assert_array_equal(getattr(loaded, name), getattr(trajectory, name))
     assert loaded.wall_time == trajectory.wall_time
+    assert loaded.metadata == trajectory.metadata  # provenance survives the archive
     np.testing.assert_array_equal(
         loaded.final_wavefunction.coefficients, trajectory.final_wavefunction.coefficients
     )

@@ -1,0 +1,7 @@
+"""Fixtures for the batch-engine tests.
+
+The sweeps here run on the shared tiny semi-local H2 config
+(``tiny_config`` / ``count_scf_solves`` from the top-level ``conftest.py``),
+so a full {propagator} x {dt} sweep, including its single shared SCF, takes
+well under a second.
+"""

@@ -1,0 +1,148 @@
+"""SweepSpec expansion: product/zip modes, stable job ids, grouping, errors."""
+
+import pytest
+
+from repro.api import ConfigError, SimulationConfig, UnknownNameError
+from repro.batch import SweepSpec, ground_state_group_key
+
+
+class TestExpansion:
+    def test_product_mode_counts_and_order(self, tiny_config):
+        spec = SweepSpec(
+            tiny_config,
+            {"propagator.name": ["ptcn", "rk4"], "run.time_step_as": [1.0, 2.0, 4.0]},
+        )
+        assert spec.n_jobs == len(spec) == 6
+        jobs = spec.expand()
+        assert [j.index for j in jobs] == list(range(6))
+        # last axis varies fastest
+        assert [(j.config.propagator.name, j.config.run.time_step_as) for j in jobs] == [
+            ("ptcn", 1.0), ("ptcn", 2.0), ("ptcn", 4.0),
+            ("rk4", 1.0), ("rk4", 2.0), ("rk4", 4.0),
+        ]
+
+    def test_zip_mode_pairs_axes(self, tiny_config):
+        spec = SweepSpec(
+            tiny_config,
+            {
+                "propagator.name": ["rk4", "ptcn"],
+                "run": [{"time_step_as": 1.0, "n_steps": 4}, {"time_step_as": 2.0, "n_steps": 2}],
+            },
+            mode="zip",
+        )
+        assert spec.n_jobs == 2
+        jobs = spec.expand()
+        assert jobs[0].config.propagator.name == "rk4"
+        assert jobs[0].config.run.n_steps == 4
+        assert jobs[1].config.propagator.name == "ptcn"
+        assert jobs[1].config.run.time_step_as == 2.0
+        # section-dict overrides merge: untouched run fields keep the base value
+        assert jobs[1].config.run.gs_scf_tolerance == tiny_config.run.gs_scf_tolerance
+
+    def test_no_axes_yields_single_base_job(self, tiny_config):
+        jobs = SweepSpec(tiny_config).expand()
+        assert len(jobs) == 1
+        assert jobs[0].point == {}
+        assert jobs[0].config == tiny_config
+
+    def test_base_accepts_plain_dict(self):
+        spec = SweepSpec({"basis": {"ecut": 2.0}}, {"run.n_steps": [1, 2]})
+        assert spec.n_jobs == 2
+        assert spec.base.basis.ecut == 2.0
+
+    def test_expansion_does_not_mutate_base(self, tiny_config):
+        before = tiny_config.to_dict()
+        SweepSpec(tiny_config, {"system.params.box": [5.0, 6.0]}).expand()
+        assert tiny_config.to_dict() == before
+
+
+class TestJobIdentity:
+    def test_job_ids_are_stable_across_expansions(self, tiny_config):
+        spec = SweepSpec(tiny_config, {"run.time_step_as": [1.0, 2.0]})
+        first = [j.job_id for j in spec.expand()]
+        second = [j.job_id for j in spec.expand()]
+        assert first == second
+        assert len(set(first)) == 2
+
+    def test_job_ids_change_when_config_changes(self, tiny_config):
+        a = SweepSpec(tiny_config, {"run.time_step_as": [1.0]}).expand()[0]
+        b = SweepSpec(tiny_config, {"run.time_step_as": [2.0]}).expand()[0]
+        assert a.job_id != b.job_id
+
+    def test_grouping_shares_ground_state_only_across_propagation_params(self, tiny_config):
+        jobs = SweepSpec(
+            tiny_config,
+            {
+                "propagator.name": ["ptcn", "rk4"],
+                "run.time_step_as": [1.0, 2.0],
+                "basis.ecut": [1.5, 2.0],
+            },
+        ).expand()
+        keys = {j.group_key for j in jobs}
+        # propagator and dt collapse into one group; ecut splits it
+        assert len(keys) == 2
+        # jobs 0 and 2 share ecut and differ only in dt -> same group
+        assert ground_state_group_key(jobs[0].config) == ground_state_group_key(jobs[2].config)
+        # jobs 0 and 1 differ in ecut -> different ground states
+        assert ground_state_group_key(jobs[0].config) != ground_state_group_key(jobs[1].config)
+
+
+class TestValidation:
+    def test_zip_length_mismatch_raises(self, tiny_config):
+        with pytest.raises(ConfigError, match="equal lengths"):
+            SweepSpec(
+                tiny_config,
+                {"propagator.name": ["ptcn"], "run.time_step_as": [1.0, 2.0]},
+                mode="zip",
+            )
+
+    def test_unknown_mode_raises(self, tiny_config):
+        with pytest.raises(ConfigError, match="product"):
+            SweepSpec(tiny_config, {}, mode="parallel")
+
+    def test_empty_axis_raises(self, tiny_config):
+        with pytest.raises(ConfigError, match="no values"):
+            SweepSpec(tiny_config, {"run.time_step_as": []})
+
+    def test_scalar_axis_raises(self, tiny_config):
+        with pytest.raises(ConfigError, match="sequence"):
+            SweepSpec(tiny_config, {"run.time_step_as": 2.0})
+
+    def test_bad_override_path_fails_at_expansion(self, tiny_config):
+        spec = SweepSpec(tiny_config, {"basis.cutoff": [3.0]})
+        with pytest.raises(ConfigError, match="cutoff"):
+            spec.expand()
+
+    def test_unknown_registry_name_fails_at_expansion(self, tiny_config):
+        spec = SweepSpec(tiny_config, {"propagator.name": ["verlet"]})
+        with pytest.raises(UnknownNameError, match="ptcn"):
+            spec.expand()
+
+    def test_bad_value_fails_at_expansion(self, tiny_config):
+        spec = SweepSpec(tiny_config, {"run.time_step_as": [-1.0]})
+        with pytest.raises(ConfigError, match="time_step_as"):
+            spec.expand()
+
+
+class TestWithOverridesHook:
+    """The config-side expansion hook the sweeps are built on."""
+
+    def test_dotted_paths_reach_nested_params(self, tiny_config):
+        config = tiny_config.with_overrides(
+            {"system.params.box": 9.0, "propagator.name": "rk4"}
+        )
+        assert config.system.params["box"] == 9.0
+        assert config.propagator.name == "rk4"
+        assert tiny_config.system.params["box"] == 8.0  # original untouched
+
+    def test_section_merge_requires_dict(self, tiny_config):
+        with pytest.raises(ConfigError, match="must be a dict"):
+            tiny_config.with_overrides({"run": 5})
+
+    def test_missing_intermediate_path_raises(self, tiny_config):
+        with pytest.raises(ConfigError, match="does not exist"):
+            tiny_config.with_overrides({"laser.params.amplitude.x": 1.0})
+
+    def test_unknown_section_raises_with_valid_sections(self, tiny_config):
+        with pytest.raises(ConfigError, match="valid sections"):
+            tiny_config.with_overrides({"sytem.structure": "h2"})

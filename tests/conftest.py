@@ -93,6 +93,38 @@ def chain_ground_state(chain_basis, chain_structure):
     return ham, result
 
 
+#: tiny semi-local H2 base config for api/batch driver tests: cheap enough
+#: that a whole sweep, including its SCF, runs in well under a second
+TINY_API_DICT = {
+    "system": {"structure": "hydrogen_molecule", "params": {"box": 8.0, "bond_length": 1.4}},
+    "basis": {"ecut": 2.0},
+    "xc": {"hybrid_mixing": 0.0},
+    "run": {"time_step_as": 1.0, "n_steps": 2, "gs_scf_tolerance": 1e-6},
+}
+
+
+@pytest.fixture()
+def tiny_config():
+    """A cheap semi-local H2 :class:`~repro.api.SimulationConfig`."""
+    from repro.api import SimulationConfig
+
+    return SimulationConfig.from_dict(TINY_API_DICT)
+
+
+@pytest.fixture()
+def count_scf_solves(monkeypatch):
+    """Count every ``GroundStateSolver.solve`` call made while active."""
+    calls = []
+    original = GroundStateSolver.solve
+
+    def counting(self, *args, **kwargs):
+        calls.append(self)
+        return original(self, *args, **kwargs)
+
+    monkeypatch.setattr(GroundStateSolver, "solve", counting)
+    return calls
+
+
 @pytest.fixture()
 def rng():
     """A deterministic random generator."""
