@@ -9,10 +9,17 @@ the four propagations, and the report renders the cost table (Fig. 6), the
 propagator-x-dt Fock-application pivot, and the dt-vs-accuracy table against
 the smallest-step run.
 
+Execution is pluggable (``repro.exec``): ``--backend distributed`` dispatches
+the ground-state groups over simulated MPI ranks and prints the per-rank
+communication volume, ``--schedule`` picks the cost-aware ordering policy.
+
 Usage:
-    python examples/dt_sweep.py            # the full laser-driven comparison
-    python examples/dt_sweep.py --smoke    # CI smoke: tiny 2-job serial sweep
-                                           # with a checkpoint/resume check
+    python examples/dt_sweep.py                          # the full comparison
+    python examples/dt_sweep.py --backend distributed --ranks 4 \\
+                                --schedule makespan_balanced
+    python examples/dt_sweep.py --smoke                  # CI smoke (serial)
+    python examples/dt_sweep.py --smoke --backend distributed --ranks 4
+                                                         # CI distributed smoke
 """
 
 from __future__ import annotations
@@ -58,11 +65,14 @@ WINDOW_AXES = {
 }
 
 
-def main() -> int:
+def main(backend: str, ranks: int, schedule: str | None) -> int:
     spec = SweepSpec(SimulationConfig.from_dict(BASE), WINDOW_AXES)
-    runner = BatchRunner(spec)
+    runner = BatchRunner(spec, backend=backend, ranks=ranks, schedule=schedule)
     print(f"Sweep: {spec.n_jobs} jobs over axes {spec.axis_paths}")
-    print(f"Shared ground states to converge: {runner.prepare_ground_states()}\n")
+    print(f"Backend: {backend} (schedule: {runner.schedule})")
+    if backend == "serial":
+        print(f"Shared ground states to converge: {runner.prepare_ground_states()}")
+    print()
 
     # at production cutoffs RK4 overflows at large steps; keep that quiet and
     # let it show up as a huge energy drift in the table instead
@@ -76,6 +86,9 @@ def main() -> int:
     print(report.pivot("hamiltonian_applications"))
     print("\nAccuracy vs the smallest-step run:\n")
     print(report.accuracy_table())
+    if backend != "serial":
+        print("\nExecution placement / communication:\n")
+        print(report.execution_table())
 
     by_point = {
         (r.summary["propagator"], r.summary["time_step_as"]): r.summary for r in report.completed
@@ -90,8 +103,10 @@ def main() -> int:
     return 0
 
 
-def smoke() -> int:
-    """2-job serial sweep + checkpoint resume; exits nonzero on any failure."""
+def smoke(backend: str, ranks: int, schedule: str | None) -> int:
+    """Tiny sweep + checkpoint resume through the chosen backend; exits
+    nonzero on any failure. With a non-serial backend the deterministic
+    report export is additionally checked against the serial reference."""
     base = SimulationConfig.from_dict(
         {
             "system": {"structure": "hydrogen_molecule", "params": {"box": 8.0, "bond_length": 1.4}},
@@ -100,23 +115,58 @@ def smoke() -> int:
             "run": {"time_step_as": 1.0, "n_steps": 2, "gs_scf_tolerance": 1e-6},
         }
     )
-    spec = SweepSpec(base, {"run.time_step_as": [1.0, 2.0]})
+    # four distinct ground-state groups x two time steps: enough structure to
+    # exercise scheduling and to give every one of 4 simulated ranks a group
+    spec = SweepSpec(base, {"basis.ecut": [1.5, 1.7, 2.0, 2.2], "run.time_step_as": [1.0, 2.0]})
+    n_jobs = spec.n_jobs
     with tempfile.TemporaryDirectory() as checkpoint_dir:
-        report = BatchRunner(spec, checkpoint_dir=checkpoint_dir).run()
+        runner = BatchRunner(
+            spec, checkpoint_dir=checkpoint_dir, backend=backend, ranks=ranks, schedule=schedule
+        )
+        report = runner.run()
         print(report.to_table())
-        if [r.status for r in report] != ["completed", "completed"]:
+        if [r.status for r in report] != ["completed"] * n_jobs:
             print("smoke FAILED: sweep did not complete", file=sys.stderr)
             return 1
-        resumed = BatchRunner(spec, checkpoint_dir=checkpoint_dir).run()
-        if [r.status for r in resumed] != ["cached", "cached"]:
+        resumed = BatchRunner(
+            spec, checkpoint_dir=checkpoint_dir, backend=backend, ranks=ranks, schedule=schedule
+        ).run()
+        if [r.status for r in resumed] != ["cached"] * n_jobs:
             print("smoke FAILED: resume did not load the checkpoints", file=sys.stderr)
             return 1
-    print("smoke ok: 2 jobs completed serially, resume served both from checkpoints")
+        if backend != "serial":
+            print(report.execution_table())
+            serial = BatchRunner(spec).run()
+            if report.to_json(exclude_timings=True) != serial.to_json(exclude_timings=True):
+                print(
+                    f"smoke FAILED: {backend} report export differs from serial",
+                    file=sys.stderr,
+                )
+                return 1
+            print(f"smoke ok: {backend} export is bit-identical to the serial backend")
+    print(
+        f"smoke ok: {n_jobs} jobs completed on the {backend} backend, "
+        "resume served all of them from checkpoints"
+    )
     return 0
 
 
 if __name__ == "__main__":
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true", help="run the tiny CI smoke sweep")
+    parser.add_argument(
+        "--backend",
+        choices=["serial", "process", "distributed"],
+        default="serial",
+        help="execution backend (see repro.exec)",
+    )
+    parser.add_argument("--ranks", type=int, default=4, help="simulated MPI ranks (distributed backend)")
+    parser.add_argument(
+        "--schedule",
+        choices=["fifo", "cheapest_first", "makespan_balanced"],
+        default=None,
+        help="scheduling policy (default: the config's run.schedule.policy)",
+    )
     args = parser.parse_args()
-    sys.exit(smoke() if args.smoke else main())
+    runner_fn = smoke if args.smoke else main
+    sys.exit(runner_fn(args.backend, args.ranks, args.schedule))

@@ -1,7 +1,7 @@
 """repro — reproduction of "Parallel Transport Time-Dependent Density Functional
 Theory Calculations with Hybrid Functional on Summit" (Jia, Wang, Lin; SC 2019).
 
-The package is organised in seven layers:
+The package is organised in eight layers:
 
 * :mod:`repro.pw` — a from-scratch plane-wave DFT/TDDFT engine (the PWDFT
   analogue): grids, pseudopotentials, Hartree/XC, screened Fock exchange,
@@ -26,10 +26,15 @@ The package is organised in seven layers:
   hand-wired eight-object script.
 * :mod:`repro.batch` — the sweep engine on top of the api layer: a
   :class:`~repro.batch.SweepSpec` expands one config over axes (dt,
-  propagator, supercell, pulse), a :class:`~repro.batch.BatchRunner` executes
-  the jobs (shared ground states, process-pool backend, checkpoint/resume)
-  and a :class:`~repro.batch.SweepReport` regenerates the paper's comparison
+  propagator, supercell, pulse), a :class:`~repro.batch.BatchRunner`
+  orchestrates the jobs (shared ground states, checkpoint/resume) and a
+  :class:`~repro.batch.SweepReport` regenerates the paper's comparison
   tables in one call.
+* :mod:`repro.exec` — the pluggable execution layer under the sweep engine: a
+  cost-aware :class:`~repro.exec.Scheduler` (``repro.perf`` workload
+  predictions) and the serial / process-pool / simulated-MPI-distributed
+  :class:`~repro.exec.ExecutionBackend` implementations with per-rank
+  communication accounting.
 
 Subpackages are imported lazily: ``import repro`` is cheap, and
 ``repro.api``, ``repro.pw`` etc. materialise on first attribute access.
@@ -44,7 +49,7 @@ from . import constants
 __version__ = "1.1.0"
 
 #: Subpackages resolved lazily via module ``__getattr__`` (PEP 562).
-_SUBPACKAGES = ("pw", "core", "parallel", "machine", "perf", "analysis", "api", "batch")
+_SUBPACKAGES = ("pw", "core", "parallel", "machine", "perf", "analysis", "api", "batch", "exec")
 
 __all__ = ["constants", "__version__", *_SUBPACKAGES]
 

@@ -22,6 +22,7 @@ New structures, pulses and propagators plug in through the registries
 """
 
 from .config import (
+    SCHEDULE_POLICIES,
     BasisConfig,
     ConfigError,
     LaserConfig,
@@ -45,6 +46,7 @@ from .registry import (
 from .session import Session, compare_propagators, run_tddft
 
 __all__ = [
+    "SCHEDULE_POLICIES",
     "BasisConfig",
     "ConfigError",
     "LaserConfig",

@@ -36,6 +36,7 @@ from . import registry as _registry
 
 __all__ = [
     "ConfigError",
+    "SCHEDULE_POLICIES",
     "SystemConfig",
     "BasisConfig",
     "XCConfig",
@@ -44,6 +45,13 @@ __all__ = [
     "RunConfig",
     "SimulationConfig",
 ]
+
+#: sweep scheduling policies accepted by ``run.schedule`` (see
+#: :class:`repro.exec.Scheduler`): ``"fifo"`` keeps expansion order,
+#: ``"cheapest_first"`` orders ground-state groups by predicted cost,
+#: ``"makespan_balanced"`` orders largest-first so cost-aware packing
+#: balances per-rank makespan
+SCHEDULE_POLICIES = ("fifo", "cheapest_first", "makespan_balanced")
 
 
 class ConfigError(ValueError):
@@ -214,6 +222,11 @@ class RunConfig:
         Density-change convergence threshold of the ground-state SCF.
     gs_max_scf_iterations:
         Outer-iteration bound of the ground-state SCF.
+    schedule:
+        Sweep-level scheduling section consumed by :mod:`repro.exec` (it never
+        affects the physics of a single run). Currently one key: ``policy``,
+        one of :data:`SCHEDULE_POLICIES` (default ``"fifo"``), e.g.
+        ``{"schedule": {"policy": "cheapest_first"}}``.
     """
 
     time_step_as: float = 50.0
@@ -222,10 +235,27 @@ class RunConfig:
     record_dipole: bool = True
     gs_scf_tolerance: float = 1e-6
     gs_max_scf_iterations: int = 60
+    schedule: dict = field(default_factory=dict)
+
+    @property
+    def schedule_policy(self) -> str:
+        """The configured scheduling policy (default ``"fifo"``)."""
+        return self.schedule.get("policy", "fifo")
 
     def __post_init__(self) -> None:
         _require_positive("run", "time_step_as", self.time_step_as)
         _require_positive("run", "gs_scf_tolerance", self.gs_scf_tolerance)
+        _require_mapping("run", "schedule", self.schedule)
+        unknown = sorted(set(self.schedule) - {"policy"})
+        if unknown:
+            raise ConfigError(
+                f"unknown key(s) {unknown} in run.schedule; valid keys: ['policy']"
+            )
+        policy = self.schedule.get("policy", "fifo")
+        if policy not in SCHEDULE_POLICIES:
+            raise ConfigError(
+                f"run.schedule.policy must be one of {list(SCHEDULE_POLICIES)}, got {policy!r}"
+            )
         for name in ("n_steps", "gs_max_scf_iterations"):
             value = getattr(self, name)
             try:

@@ -140,6 +140,39 @@ class Session:
             self._ground_state = solver.solve()
         return self._ground_state
 
+    @property
+    def ground_state_ready(self) -> bool:
+        """Whether a ground state is already available (converged or adopted)
+        — probing this never triggers an SCF."""
+        return self._ground_state is not None
+
+    def adopt_ground_state(self, result: GroundStateResult) -> None:
+        """Inject a precomputed ground state instead of converging one.
+
+        This is the session-reuse hook the execution backends rely on: a
+        checkpointed SCF (:meth:`~repro.pw.ground_state.GroundStateResult.save_npz`
+        round-tripped through a :class:`~repro.batch.CheckpointStore`) is
+        adopted bit-for-bit, so a propagation from it is identical to one from
+        an in-session SCF — the propagator re-synchronises the Hamiltonian
+        potential from the initial orbitals in its ``prepare`` hook.
+
+        Raises :class:`ValueError` if the result carries no orbitals (loaded
+        without a basis) or its orbitals do not match this session's basis.
+        """
+        if result.wavefunction is None:
+            raise ValueError(
+                "cannot adopt ground state: result has no wavefunction "
+                "(load it with the session's basis)"
+            )
+        npw = result.wavefunction.coefficients.shape[1]
+        if npw != self.basis.npw:
+            raise ValueError(
+                f"cannot adopt ground state: orbitals have {npw} plane-wave "
+                f"coefficients but this session's basis has {self.basis.npw}"
+            )
+        self._ground_state = result
+        self._initial_wavefunction = None
+
     def initial_wavefunction(self) -> Wavefunction:
         """The propagation starting state: the ground state, kicked if the
         configured pulse is a :class:`~repro.pw.laser.DeltaKick`."""

@@ -4,10 +4,12 @@ The batch layer turns the hand-written comparison loops of the examples and
 benchmarks into one declarative call: a :class:`SweepSpec` expands a base
 :class:`~repro.api.SimulationConfig` over axes (time step, propagator,
 supercell size, pulse, ...), a :class:`BatchRunner` executes the job list —
-sharing one ground-state SCF per compatible group, optionally across a
-process pool, checkpointing every completed job for resume-after-crash — and
-a :class:`SweepReport` aggregates the results into the paper's tables
-(Fig. 6-style cost comparison, dt-vs-accuracy, propagator-x-dt pivots).
+sharing one ground-state SCF per compatible group, scheduling and placing
+groups through the pluggable :mod:`repro.exec` layer (serial, process pool,
+or simulated-MPI distributed), checkpointing every completed job *and* every
+converged SCF for resume-after-crash — and a :class:`SweepReport` aggregates
+the results into the paper's tables (Fig. 6-style cost comparison,
+dt-vs-accuracy, propagator-x-dt pivots) plus the per-rank execution summary.
 
 .. code-block:: python
 

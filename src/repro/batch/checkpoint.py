@@ -12,19 +12,37 @@ Each completed job persists as two files in the checkpoint directory:
 Staleness is guarded twice: the job id embeds a hash of the expanded config
 (a changed sweep produces different ids), and :meth:`CheckpointStore.load`
 re-checks the stored hash against the live job before trusting a manifest.
+
+Besides per-job results the store also persists the *shared ground states* of
+a sweep: one converged SCF per ground-state group, keyed by a hash of
+:func:`~repro.batch.sweep.ground_state_group_key` and stored as
+``gs-<hash>.npz`` / ``gs-<hash>.json``. A resumed sweep (or a second sweep
+over the same systems) adopts these into its sessions and skips even the
+first group SCF.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import pathlib
 
 from ..core.dynamics import Trajectory, json_default
+from ..pw.ground_state import GroundStateResult
 from .report import JobResult
 from .sweep import SweepJob, config_hash
 
-__all__ = ["CheckpointStore"]
+__all__ = ["CheckpointStore", "ground_state_hash"]
+
+#: filename prefix of shared ground-state entries (keeps them distinguishable
+#: from per-job checkpoints, whose ids start with ``job``)
+_GS_PREFIX = "gs-"
+
+
+def ground_state_hash(group_key: str) -> str:
+    """Short stable hash of a ground-state group key (the store's gs file stem)."""
+    return hashlib.sha1(group_key.encode()).hexdigest()[:12]
 
 
 class CheckpointStore:
@@ -44,8 +62,13 @@ class CheckpointStore:
         return self.directory / f"{job_id}.npz"
 
     def completed_ids(self) -> set[str]:
-        """Ids of every job with a manifest in the store."""
-        return {path.stem for path in self.directory.glob("*.json")}
+        """Ids of every *job* with a manifest in the store (ground-state
+        entries are tracked separately)."""
+        return {
+            path.stem
+            for path in self.directory.glob("*.json")
+            if not path.name.startswith(_GS_PREFIX)
+        }
 
     # ------------------------------------------------------------------
     def _read_manifest(self, job: SweepJob) -> dict | None:
@@ -104,6 +127,71 @@ class CheckpointStore:
             "summary": result.summary,
         }
         path = self.manifest_path(result.job_id)
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(manifest, indent=2, default=json_default))
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------
+    # Shared ground states (one converged SCF per ground-state group)
+    # ------------------------------------------------------------------
+    def ground_state_trajectory_path(self, group_key: str) -> pathlib.Path:
+        """Path of the group's ground-state orbital archive."""
+        return self.directory / f"{_GS_PREFIX}{ground_state_hash(group_key)}.npz"
+
+    def ground_state_manifest_path(self, group_key: str) -> pathlib.Path:
+        """Path of the group's ground-state manifest."""
+        return self.directory / f"{_GS_PREFIX}{ground_state_hash(group_key)}.json"
+
+    def _read_ground_state_manifest(self, group_key: str) -> dict | None:
+        path = self.ground_state_manifest_path(group_key)
+        if not path.exists():
+            return None
+        try:
+            manifest = json.loads(path.read_text())
+        except (ValueError, OSError):
+            return None  # truncated/corrupt: treat as absent, reconverge
+        if manifest.get("group_key") != group_key:
+            return None  # hash collision on the 12-char stem: do not trust it
+        if manifest.get("status") != "completed":
+            return None
+        return manifest
+
+    def has_ground_state(self, group_key: str) -> bool:
+        """Whether a complete shared ground state exists for ``group_key``."""
+        return (
+            self._read_ground_state_manifest(group_key) is not None
+            and self.ground_state_trajectory_path(group_key).exists()
+        )
+
+    def load_ground_state(self, group_key: str, basis=None) -> GroundStateResult | None:
+        """The persisted ground state of a group, or ``None`` if absent.
+
+        ``basis`` is the :class:`~repro.pw.grid.PlaneWaveBasis` the orbitals
+        refer to (pass the consuming session's); without it the result carries
+        no wavefunction and cannot seed a propagation.
+        """
+        if self._read_ground_state_manifest(group_key) is None:
+            return None
+        path = self.ground_state_trajectory_path(group_key)
+        if not path.exists():
+            return None
+        return GroundStateResult.load_npz(path, basis=basis)
+
+    def save_ground_state(self, group_key: str, result: GroundStateResult) -> None:
+        """Persist a group's converged SCF (orbitals first, manifest last)."""
+        if result.wavefunction is None:
+            raise ValueError("cannot checkpoint a ground state without its orbitals")
+        self.directory.mkdir(parents=True, exist_ok=True)
+        result.save_npz(self.ground_state_trajectory_path(group_key))
+        manifest = {
+            "group_hash": ground_state_hash(group_key),
+            "group_key": group_key,
+            "status": "completed",
+            "converged": bool(result.converged),
+            "total_energy": float(result.total_energy),
+            "scf_iterations": int(result.scf_iterations),
+        }
+        path = self.ground_state_manifest_path(group_key)
         tmp = path.with_suffix(".json.tmp")
         tmp.write_text(json.dumps(manifest, indent=2, default=json_default))
         os.replace(tmp, path)

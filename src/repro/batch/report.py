@@ -138,11 +138,22 @@ class SweepReport:
         The :class:`JobResult` list (any order; sorted by job index).
     axes:
         The sweep's axis paths, used as the leading table columns.
+    execution:
+        The executing backend's placement/communication summary (see
+        :meth:`repro.exec.ExecutionBackend.execution_summary`). Rendered by
+        :meth:`execution_table`; **not** part of :meth:`to_dict`, so the
+        physics export of a sweep is identical across backends.
     """
 
-    def __init__(self, results: list[JobResult], axes: list[str] | None = None):
+    def __init__(
+        self,
+        results: list[JobResult],
+        axes: list[str] | None = None,
+        execution: dict | None = None,
+    ):
         self.results = sorted(results, key=lambda r: r.index)
         self.axes = list(axes or [])
+        self.execution = dict(execution or {})
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -172,19 +183,91 @@ class SweepReport:
     # ------------------------------------------------------------------
     # Export
     # ------------------------------------------------------------------
-    def to_dict(self) -> dict:
-        """A JSON-serializable summary of the whole sweep."""
+    def to_dict(self, exclude_timings: bool = False) -> dict:
+        """A JSON-serializable summary of the whole sweep.
+
+        With ``exclude_timings`` the measured wall-clock times are zeroed out,
+        leaving only deterministic physics: that export is bit-identical
+        across execution backends (and across reruns), which is how the
+        backend-equivalence tests compare serial and distributed sweeps.
+        """
+        jobs = [r.to_dict() for r in self.results]
+        if exclude_timings:
+            for job in jobs:
+                if isinstance(job.get("summary"), dict):
+                    job["summary"].pop("wall_time", None)
+                trajectory = job.get("trajectory")
+                if isinstance(trajectory, dict):
+                    trajectory.pop("wall_time", None)
         return {
             "axes": list(self.axes),
             "n_jobs": len(self.results),
             "n_completed": len(self.completed),
             "n_failed": len(self.failed),
-            "jobs": [r.to_dict() for r in self.results],
+            "jobs": jobs,
         }
 
-    def to_json(self, indent: int | None = 2) -> str:
-        """JSON text of :meth:`to_dict` (numpy axis values coerced)."""
-        return json.dumps(self.to_dict(), indent=indent, default=json_default)
+    def to_json(
+        self,
+        indent: int | None = 2,
+        include_execution: bool = False,
+        exclude_timings: bool = False,
+    ) -> str:
+        """JSON text of :meth:`to_dict` (numpy axis values coerced).
+
+        The default export contains the physics only; with ``exclude_timings``
+        it is bit-identical across execution backends.
+        ``include_execution=True`` appends the backend's placement /
+        communication summary under an ``"execution"`` key.
+        """
+        data = self.to_dict(exclude_timings=exclude_timings)
+        if include_execution:
+            data["execution"] = copy.deepcopy(self.execution)
+        return json.dumps(data, indent=indent, default=json_default)
+
+    # ------------------------------------------------------------------
+    # Execution placement / communication accounting
+    # ------------------------------------------------------------------
+    def execution_table(self) -> str:
+        """Per-rank placement and communication volume of the executing backend.
+
+        Meaningful for the distributed backend (one row per simulated rank:
+        groups, jobs, predicted cost, dispatch/result bytes); other backends
+        produce a one-line summary.
+        """
+        info = self.execution
+        if not info:
+            return "(no execution summary recorded)"
+        per_rank = info.get("per_rank")
+        if not per_rank:
+            line = (
+                f"backend={info.get('backend', '?')} "
+                f"schedule={info.get('schedule', '?')} "
+                f"groups={info.get('n_groups', '?')} jobs={info.get('n_jobs', '?')}"
+            )
+            if info.get("used_fallback"):
+                line += " (fell back to serial)"
+            return line
+        headers = ["rank", "groups", "jobs", "predicted cost", "dispatch [B]", "result [B]"]
+        rows = [
+            [
+                stats.get("rank", "-"),
+                stats.get("groups", 0),
+                stats.get("jobs", 0),
+                stats.get("predicted_cost", 0.0),
+                stats.get("dispatch_bytes", 0),
+                stats.get("result_bytes", 0),
+            ]
+            for stats in per_rank
+        ]
+        table = format_table(headers, rows)
+        comm = info.get("comm", {})
+        footer = (
+            f"backend={info.get('backend', '?')} schedule={info.get('schedule', '?')} "
+            f"ranks={info.get('ranks', len(per_rank))} "
+            f"total comm = {comm.get('total_bytes', 0)} B"
+        )
+        return f"{table}\n{footer}"
 
     # ------------------------------------------------------------------
     # Tables
@@ -220,25 +303,30 @@ class SweepReport:
             )
         return format_table(headers, rows)
 
-    def fig6_table(self) -> str:
+    def fig6_table(self, include_wall: bool = True) -> str:
         """The Fig. 6-style cost comparison: one row per completed run.
 
         Matches the shape of the measured ``bench_fig6`` table — integrator
         vs time step vs Fock-application count — plus the energy drift and
-        wall time the accuracy discussion needs.
+        wall time the accuracy discussion needs. ``include_wall=False`` drops
+        the (run-to-run noisy) wall-clock column, making the table
+        deterministic across backends and reruns.
         """
-        headers = ["integrator", "time step [as]", "steps", "Fock applications", "energy drift [Ha]", "wall [s]"]
-        rows = [
-            [
+        headers = ["integrator", "time step [as]", "steps", "Fock applications", "energy drift [Ha]"]
+        if include_wall:
+            headers.append("wall [s]")
+        rows = []
+        for r in self.completed:
+            row = [
                 r.summary.get("integrator", r.summary.get("propagator", "?")),
                 r.summary.get("time_step_as", "-"),
                 r.summary.get("n_steps", "-"),
                 r.summary.get("hamiltonian_applications", "-"),
                 r.summary.get("energy_drift", "-"),
-                r.summary.get("wall_time", "-"),
             ]
-            for r in self.completed
-        ]
+            if include_wall:
+                row.append(r.summary.get("wall_time", "-"))
+            rows.append(row)
         return format_table(headers, rows)
 
     def pivot(self, value: str, index: str = "propagator", columns: str = "time_step_as") -> str:

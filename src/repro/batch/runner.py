@@ -1,16 +1,25 @@
-"""The sweep execution engine on top of :class:`repro.api.Session`.
+"""The sweep orchestrator: spec → scheduler → backend → report.
 
 :class:`BatchRunner` executes the jobs of a :class:`~repro.batch.SweepSpec`
-and aggregates them into a :class:`~repro.batch.SweepReport`:
+and aggregates them into a :class:`~repro.batch.SweepReport`. Execution
+policy lives in :mod:`repro.exec`; the runner only wires the pieces:
 
 * **Ground-state sharing.** Jobs are grouped by
   :func:`~repro.batch.sweep.ground_state_group_key`; each group runs through
   one caching :class:`~repro.api.Session`, so a {propagator} x {dt} sweep
   converges its SCF exactly once no matter how many propagations fan out.
+  With a checkpoint directory the converged SCFs are persisted too, so a
+  *resumed* sweep skips even the first group SCF.
+* **Scheduling.** A :class:`~repro.exec.Scheduler` orders (and, for the
+  distributed backend, packs) the groups by :mod:`repro.perf.sweep_cost`
+  predictions — ``fifo`` (default), ``cheapest_first`` or
+  ``makespan_balanced``, selected via ``run.schedule`` in the base config or
+  the ``schedule=`` argument.
 * **Backends.** ``"serial"`` runs in-process; ``"process"`` dispatches one
-  worker task per group to a :class:`~concurrent.futures.ProcessPoolExecutor`
-  (whole groups, so the one-SCF-per-group property survives the pool), and
-  falls back to serial if no pool can be created.
+  group per worker task to a process pool (falling back to serial with a
+  warning naming the original error); ``"distributed"`` places groups onto
+  ``ranks`` virtual ranks of the simulated MPI runtime and logs per-rank
+  dispatch/result communication volume into the report's execution summary.
 * **Checkpointing.** With a ``checkpoint_dir``, every completed job is
   persisted via :class:`~repro.batch.CheckpointStore`; a rerun of the same
   sweep loads finished jobs (status ``"cached"``) instead of recomputing
@@ -22,106 +31,53 @@ and aggregates them into a :class:`~repro.batch.SweepReport`:
         SweepSpec(base, {"propagator.name": ["ptcn", "rk4"],
                          "run.time_step_as": [10.0, 50.0]}),
         checkpoint_dir="sweep-ckpt",
+        backend="distributed", ranks=4, schedule="makespan_balanced",
     ).run()
     print(report.fig6_table())
+    print(report.execution_table())
 """
 
 from __future__ import annotations
 
-import os
-import warnings
-from concurrent.futures import ProcessPoolExecutor
-
 from ..api.session import Session
 from .checkpoint import CheckpointStore
-from .report import JobResult, SweepReport
+from .report import SweepReport
 from .sweep import SweepJob, SweepSpec
 
 __all__ = ["BatchRunner"]
 
-
-def _execute_group(
-    jobs: list[SweepJob],
-    checkpoint_dir,
-    raise_on_error: bool,
-    session: Session | None = None,
-) -> list[JobResult]:
-    """Run one ground-state group of jobs through a shared session.
-
-    The session is built lazily from the first job's config, so a fully
-    checkpointed group never touches the physics stack at all. With
-    ``raise_on_error`` the first failing job aborts the group *after* the
-    checkpoints of the jobs before it were written — which is what makes a
-    crashed sweep resumable.
-    """
-    store = CheckpointStore(checkpoint_dir) if checkpoint_dir is not None else None
-    results: list[JobResult] = []
-    for job in jobs:
-        if store is not None:
-            cached = store.load(job)
-            if cached is not None:
-                results.append(cached)
-                continue
-        if session is None:
-            session = Session(jobs[0].config)
-        try:
-            run_cfg = job.config.run
-            trajectory = session.propagate(
-                job.config.propagator.name,
-                time_step_as=run_cfg.time_step_as,
-                n_steps=run_cfg.n_steps,
-                params=dict(job.config.propagator.params),
-            )
-        except Exception as exc:
-            if raise_on_error:
-                raise
-            results.append(JobResult.from_failure(job, exc))
-            continue
-        result = JobResult.from_trajectory(job, trajectory)
-        if store is not None:
-            try:
-                store.save(result)
-            except Exception as exc:
-                # a persistence failure (full disk, unwritable dir) must not
-                # discard finished physics or abort the sweep: the job stays
-                # completed but unsaved, and a rerun recomputes it
-                result.error = f"checkpoint write failed: {type(exc).__name__}: {exc}"
-                warnings.warn(f"job {job.job_id}: {result.error}")
-        results.append(result)
-    return results
-
-
-def _run_group_worker(payload) -> list[dict]:
-    """Process-pool entry point: run a group, return JSON-able result dicts.
-
-    Results cross the process boundary in dict form (observables only) to
-    avoid pickling wavefunctions and grids; checkpoints written inside the
-    worker keep the full trajectories on disk.
-    """
-    jobs, checkpoint_dir, raise_on_error = payload
-    results = _execute_group(jobs, checkpoint_dir, raise_on_error)
-    return [result.to_dict() for result in results]
+#: the ``backend=`` names accepted by :class:`BatchRunner`
+BACKEND_NAMES = ("serial", "process", "distributed")
 
 
 class BatchRunner:
-    """Execute a sweep: expand, group, run, checkpoint, aggregate.
+    """Execute a sweep: expand, group, schedule, run, checkpoint, aggregate.
 
     Parameters
     ----------
     spec:
         The :class:`~repro.batch.SweepSpec` to execute.
     checkpoint_dir:
-        Directory for per-job checkpoints; ``None`` disables checkpointing.
+        Directory for per-job and shared ground-state checkpoints; ``None``
+        disables checkpointing.
     backend:
-        ``"serial"`` (default) or ``"process"``. The process backend ships
-        one *group* per worker task; custom components registered at runtime
-        are only visible to workers on fork-based platforms.
+        ``"serial"`` (default), ``"process"`` or ``"distributed"`` — see
+        :mod:`repro.exec`.
     max_workers:
         Process-pool size (default: CPU count), capped at the group count.
+        Process backend only.
+    ranks:
+        Number of simulated MPI ranks (default 4). Distributed backend only.
+    schedule:
+        Scheduling policy (see :data:`repro.api.SCHEDULE_POLICIES`); defaults
+        to the base config's ``run.schedule.policy``.
     raise_on_error:
         If ``True``, the first failing job re-raises (completed jobs keep
         their checkpoints, so the sweep is resumable). If ``False`` (default)
         failures are recorded as ``"failed"`` results and the sweep continues.
+    share_ground_states:
+        Persist converged SCFs in the checkpoint store and adopt them on
+        resume (default ``True``; no effect without ``checkpoint_dir``).
     """
 
     def __init__(
@@ -131,15 +87,29 @@ class BatchRunner:
         checkpoint_dir=None,
         backend: str = "serial",
         max_workers: int | None = None,
+        ranks: int = 4,
+        schedule: str | None = None,
         raise_on_error: bool = False,
+        share_ground_states: bool = True,
     ):
-        if backend not in ("serial", "process"):
-            raise ValueError(f"backend must be 'serial' or 'process', got {backend!r}")
+        from ..exec import Scheduler  # deferred: repro.exec imports repro.batch
+
+        if backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"backend must be one of {list(BACKEND_NAMES)} "
+                f"('serial', 'process' or 'distributed'), got {backend!r}"
+            )
+        if ranks < 1:
+            raise ValueError(f"ranks must be >= 1, got {ranks}")
         self.spec = spec
         self.checkpoint_dir = checkpoint_dir
         self.backend = backend
         self.max_workers = max_workers
+        self.ranks = int(ranks)
+        self.schedule = spec.base.run.schedule_policy if schedule is None else schedule
+        self.scheduler = Scheduler(self.schedule)  # validates the policy name
         self.raise_on_error = bool(raise_on_error)
+        self.share_ground_states = bool(share_ground_states)
         self._sessions: dict[str, Session] = {}
 
     # ------------------------------------------------------------------
@@ -150,16 +120,25 @@ class BatchRunner:
             grouped.setdefault(job.group_key, []).append(job)
         return grouped
 
+    def _ground_state_store(self) -> CheckpointStore | None:
+        if self.checkpoint_dir is None or not self.share_ground_states:
+            return None
+        return CheckpointStore(self.checkpoint_dir)
+
     def prepare_ground_states(self) -> int:
         """Converge (in-process) the shared ground state of every group that
         still has uncheckpointed jobs; returns the number of SCFs run.
 
         Separates the expensive warm-up from :meth:`run` — benchmarks time the
         sweep without the SCF, services can prepare caches ahead of traffic.
-        Only the serial backend reuses these warm sessions (process workers
-        rebuild their own); the one-SCF-per-group property holds either way.
+        Groups whose SCF is already persisted in the checkpoint store adopt it
+        instead of reconverging (and count as zero SCFs); freshly converged
+        ones are persisted for future sweeps. Only the serial backend reuses
+        these warm sessions (process/distributed workers rebuild their own);
+        the one-SCF-per-group property holds either way.
         """
         store = CheckpointStore(self.checkpoint_dir) if self.checkpoint_dir is not None else None
+        gs_store = self._ground_state_store()
         count = 0
         for key, jobs in self.groups().items():
             if store is not None and all(store.has(job) for job in jobs):
@@ -168,39 +147,43 @@ class BatchRunner:
             if session is None:
                 session = Session(jobs[0].config)
                 self._sessions[key] = session
+            if not session.ground_state_ready and gs_store is not None:
+                shared = gs_store.load_ground_state(key, basis=session.basis)
+                if shared is not None:
+                    session.adopt_ground_state(shared)
+                    continue
+            converged_here = not session.ground_state_ready
             session.ground_state()
-            count += 1
+            if converged_here:
+                count += 1
+                if gs_store is not None:
+                    gs_store.save_ground_state(key, session.ground_state())
         return count
 
     # ------------------------------------------------------------------
+    def _make_backend(self):
+        from ..exec import DistributedBackend, ProcessPoolBackend, SerialBackend
+
+        common = dict(
+            checkpoint_dir=self.checkpoint_dir,
+            raise_on_error=self.raise_on_error,
+            share_ground_states=self.share_ground_states,
+        )
+        if self.backend == "process":
+            return ProcessPoolBackend(max_workers=self.max_workers, sessions=self._sessions, **common)
+        if self.backend == "distributed":
+            return DistributedBackend(ranks=self.ranks, **common)
+        return SerialBackend(sessions=self._sessions, **common)
+
     def run(self) -> SweepReport:
-        """Execute every job and return the aggregated report."""
-        grouped = self.groups()
-        results: list[JobResult] = []
-        executor = None
-        if self.backend == "process" and len(grouped) > 1:
-            workers = min(self.max_workers or os.cpu_count() or 1, len(grouped))
-            try:
-                executor = ProcessPoolExecutor(max_workers=workers)
-            except (OSError, ValueError, ImportError) as exc:
-                warnings.warn(f"process pool unavailable ({exc}); falling back to serial backend")
-                executor = None
-        if executor is not None:
-            with executor:
-                futures = [
-                    executor.submit(_run_group_worker, (jobs, self.checkpoint_dir, self.raise_on_error))
-                    for jobs in grouped.values()
-                ]
-                for future in futures:
-                    results.extend(JobResult.from_dict(d) for d in future.result())
-        else:
-            for key, jobs in grouped.items():
-                results.extend(
-                    _execute_group(
-                        jobs,
-                        self.checkpoint_dir,
-                        self.raise_on_error,
-                        session=self._sessions.get(key),
-                    )
-                )
-        return SweepReport(results, axes=self.spec.axis_paths)
+        """Schedule and execute every job; return the aggregated report."""
+        scheduled = self.scheduler.schedule(self.groups())
+        backend = self._make_backend()
+        if self.backend == "distributed":
+            self.scheduler.pack(scheduled, backend.ranks)
+        for group in scheduled:
+            backend.submit_group(group)
+        results = backend.drain()
+        execution = backend.execution_summary()
+        execution["schedule"] = self.scheduler.policy
+        return SweepReport(results, axes=self.spec.axis_paths, execution=execution)

@@ -40,14 +40,22 @@ from ..api.config import ConfigError, SimulationConfig
 
 __all__ = ["SweepJob", "SweepSpec", "ground_state_group_key", "config_hash"]
 
-#: run-section fields that only affect the propagation, never the shared
-#: ground state — jobs differing in nothing else can share one SCF
-_PROPAGATION_ONLY_RUN_FIELDS = ("time_step_as", "n_steps")
+#: run-section fields that only affect the propagation (or, for ``schedule``,
+#: only how the sweep is ordered), never the shared ground state — jobs
+#: differing in nothing else can share one SCF
+_PROPAGATION_ONLY_RUN_FIELDS = ("time_step_as", "n_steps", "schedule")
 
 
 def config_hash(config: SimulationConfig | dict) -> str:
-    """Short stable hash of a config (dict form), for checkpoint staleness checks."""
+    """Short stable hash of a config (dict form), for checkpoint staleness checks.
+
+    The ``run.schedule`` section is excluded: scheduling only decides *when* a
+    job runs, never what it computes, so rerunning a sweep under a different
+    policy must keep every job id and checkpoint valid.
+    """
     data = config.to_dict() if isinstance(config, SimulationConfig) else config
+    if isinstance(data.get("run"), dict) and "schedule" in data["run"]:
+        data = {**data, "run": {k: v for k, v in data["run"].items() if k != "schedule"}}
     text = json.dumps(data, sort_keys=True, default=str)
     return hashlib.sha1(text.encode()).hexdigest()[:12]
 

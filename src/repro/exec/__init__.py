@@ -1,0 +1,40 @@
+"""Pluggable execution layer for config sweeps: scheduler + backends.
+
+The paper's headline is dispatching PT-CN rt-TDDFT across thousands of Summit
+GPUs under a communication cost model; this package is the sweep-level
+analogue. It separates *what* a sweep computes (:mod:`repro.batch`) from
+*when and where* each ground-state group runs:
+
+* a :class:`Scheduler` orders and packs groups using
+  :mod:`repro.perf.sweep_cost` predictions (``fifo`` / ``cheapest_first`` /
+  ``makespan_balanced``, selectable via ``run.schedule`` in
+  :class:`~repro.api.SimulationConfig`);
+* an :class:`ExecutionBackend` runs them — :class:`SerialBackend` in-process,
+  :class:`ProcessPoolBackend` over a process pool, and
+  :class:`DistributedBackend` over the virtual ranks of the simulated MPI
+  runtime (:class:`~repro.parallel.SimCommunicator`), with dispatch/result
+  communication volume logged per rank.
+
+:class:`~repro.batch.BatchRunner` is the thin orchestrator on top:
+spec → scheduler → backend → report.
+"""
+
+from .backends import (
+    DistributedBackend,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    execute_group,
+)
+from .scheduler import SCHEDULE_POLICIES, ScheduledGroup, Scheduler
+
+__all__ = [
+    "SCHEDULE_POLICIES",
+    "ScheduledGroup",
+    "Scheduler",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "DistributedBackend",
+    "execute_group",
+]

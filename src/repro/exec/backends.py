@@ -1,0 +1,425 @@
+"""Execution backends: where and how the groups of a sweep actually run.
+
+Execution policy used to live inline in :class:`repro.batch.BatchRunner`;
+this module extracts it behind one small surface, the
+:class:`ExecutionBackend` protocol — ``submit_group`` accepts scheduled
+ground-state groups, ``drain`` runs everything and returns the
+:class:`~repro.batch.JobResult` list, ``execution_summary`` reports how the
+work was placed. Three implementations:
+
+* :class:`SerialBackend` — in-process, in submission order; the only backend
+  that reuses the runner's warm sessions (``prepare_ground_states``).
+* :class:`ProcessPoolBackend` — one worker task per group on a
+  :class:`~concurrent.futures.ProcessPoolExecutor`; falls back to serial
+  execution (with a warning naming the original error and the fallback) when
+  no pool can be created.
+* :class:`DistributedBackend` — places groups onto the virtual ranks of a
+  :class:`~repro.parallel.SimCommunicator`. Group dispatch and result
+  collection really move serialized payloads through the communicator's
+  point-to-point channel, so the per-rank communication volume of a sweep is
+  logged the same way the distributed kernels log theirs — the
+  ``bench_fig7/8``-style communication analyses extend to sweep traffic.
+
+All backends run whole groups, so the one-SCF-per-group property survives any
+placement, and all of them share the checkpoint/resume and ground-state
+sharing machinery of :func:`execute_group`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from ..api.session import Session
+from ..batch.checkpoint import CheckpointStore
+from ..batch.report import JobResult
+from ..core.dynamics import json_default
+from ..parallel.comm import SimCommunicator
+from .scheduler import ScheduledGroup
+
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "DistributedBackend",
+    "execute_group",
+]
+
+
+def execute_group(
+    jobs: list,
+    checkpoint_dir,
+    raise_on_error: bool,
+    session: Session | None = None,
+    share_ground_states: bool = False,
+) -> list[JobResult]:
+    """Run one ground-state group of jobs through a shared session.
+
+    The session is built lazily from the first job's config, so a fully
+    checkpointed group never touches the physics stack at all. With
+    ``raise_on_error`` the first failing job aborts the group *after* the
+    checkpoints of the jobs before it were written — which is what makes a
+    crashed sweep resumable.
+
+    With ``share_ground_states`` (and a checkpoint directory) the group's
+    converged SCF is adopted from / persisted to the
+    :class:`~repro.batch.CheckpointStore`, so a resumed sweep skips even the
+    first group SCF.
+    """
+    store = CheckpointStore(checkpoint_dir) if checkpoint_dir is not None else None
+    gs_store = store if (share_ground_states and store is not None) else None
+    gs_persisted = False
+    results: list[JobResult] = []
+    for job in jobs:
+        if store is not None:
+            cached = store.load(job)
+            if cached is not None:
+                results.append(cached)
+                continue
+        if session is None:
+            session = Session(jobs[0].config)
+        if gs_store is not None and not session.ground_state_ready:
+            shared = gs_store.load_ground_state(job.group_key, basis=session.basis)
+            if shared is not None:
+                session.adopt_ground_state(shared)
+                gs_persisted = True  # already on disk, no need to rewrite it
+        try:
+            run_cfg = job.config.run
+            trajectory = session.propagate(
+                job.config.propagator.name,
+                time_step_as=run_cfg.time_step_as,
+                n_steps=run_cfg.n_steps,
+                params=dict(job.config.propagator.params),
+            )
+        except Exception as exc:
+            if gs_store is not None and not gs_persisted and session.ground_state_ready:
+                # the SCF may have finished before the propagation failed;
+                # persisting it still saves the resume a full reconvergence
+                gs_persisted = _persist_ground_state(gs_store, job.group_key, session)
+            if raise_on_error:
+                raise
+            results.append(JobResult.from_failure(job, exc))
+            continue
+        if gs_store is not None and not gs_persisted:
+            gs_persisted = _persist_ground_state(gs_store, job.group_key, session)
+        result = JobResult.from_trajectory(job, trajectory)
+        if store is not None:
+            try:
+                store.save(result)
+            except Exception as exc:
+                # a persistence failure (full disk, unwritable dir) must not
+                # discard finished physics or abort the sweep: the job stays
+                # completed but unsaved, and a rerun recomputes it
+                result.error = f"checkpoint write failed: {type(exc).__name__}: {exc}"
+                warnings.warn(f"job {job.job_id}: {result.error}")
+        results.append(result)
+    return results
+
+
+def _persist_ground_state(gs_store: CheckpointStore, group_key: str, session: Session) -> bool:
+    """Best-effort save of a session's converged SCF; never aborts the sweep."""
+    try:
+        if gs_store.has_ground_state(group_key):
+            # already persisted (e.g. by prepare_ground_states warming the
+            # store): skip rewriting the orbital archive, the largest file
+            # in the store
+            return True
+        gs_store.save_ground_state(group_key, session.ground_state())
+        return True
+    except Exception as exc:
+        warnings.warn(f"ground-state checkpoint write failed: {type(exc).__name__}: {exc}")
+        return False
+
+
+def _run_group_worker(payload) -> list[dict]:
+    """Process-pool entry point: run a group, return JSON-able result dicts.
+
+    Results cross the process boundary in dict form (observables only) to
+    avoid pickling wavefunctions and grids; checkpoints written inside the
+    worker keep the full trajectories on disk.
+    """
+    jobs, checkpoint_dir, raise_on_error, share_ground_states = payload
+    results = execute_group(
+        jobs, checkpoint_dir, raise_on_error, share_ground_states=share_ground_states
+    )
+    return [result.to_dict() for result in results]
+
+
+# ---------------------------------------------------------------------------
+# The backend protocol
+# ---------------------------------------------------------------------------
+
+
+class ExecutionBackend(ABC):
+    """Where the groups of a sweep run: ``submit_group`` then ``drain``.
+
+    Parameters
+    ----------
+    checkpoint_dir:
+        Directory for per-job (and shared ground-state) checkpoints;
+        ``None`` disables persistence.
+    raise_on_error:
+        Propagate the first job failure instead of recording it.
+    share_ground_states:
+        Persist/adopt converged SCFs through the checkpoint store (no effect
+        without ``checkpoint_dir``).
+    """
+
+    #: registry name of the backend (the ``BatchRunner(backend=...)`` string)
+    name = "backend"
+
+    def __init__(self, *, checkpoint_dir=None, raise_on_error: bool = False, share_ground_states: bool = False):
+        self.checkpoint_dir = checkpoint_dir
+        self.raise_on_error = bool(raise_on_error)
+        self.share_ground_states = bool(share_ground_states)
+        self.groups: list[ScheduledGroup] = []
+
+    # ------------------------------------------------------------------
+    def submit_group(self, group: ScheduledGroup) -> None:
+        """Enqueue one scheduled ground-state group for execution."""
+        self.groups.append(group)
+
+    @abstractmethod
+    def drain(self) -> list[JobResult]:
+        """Run every submitted group and return all job results."""
+
+    # ------------------------------------------------------------------
+    def execution_summary(self) -> dict:
+        """How the submitted work was (or will be) placed, JSON-serializable."""
+        return {
+            "backend": self.name,
+            "n_groups": len(self.groups),
+            "n_jobs": sum(g.n_jobs for g in self.groups),
+            "groups": [
+                {
+                    "index": g.index,
+                    "n_jobs": g.n_jobs,
+                    # the scheduler's cost-model-failure sentinel is NaN, which
+                    # is not valid strict JSON — export it as null instead
+                    "predicted_cost": float(g.predicted_cost) if np.isfinite(g.predicted_cost) else None,
+                    "rank": g.rank,
+                }
+                for g in self.groups
+            ],
+        }
+
+
+class SerialBackend(ExecutionBackend):
+    """In-process execution in submission order.
+
+    The only backend that can reuse warm :class:`~repro.api.Session`\\ s (from
+    :meth:`repro.batch.BatchRunner.prepare_ground_states`): pass them as
+    ``sessions``, keyed by group key.
+    """
+
+    name = "serial"
+
+    def __init__(self, *, checkpoint_dir=None, raise_on_error: bool = False,
+                 share_ground_states: bool = False, sessions: dict | None = None):
+        super().__init__(
+            checkpoint_dir=checkpoint_dir,
+            raise_on_error=raise_on_error,
+            share_ground_states=share_ground_states,
+        )
+        self.sessions = {} if sessions is None else sessions
+
+    def drain(self) -> list[JobResult]:
+        results: list[JobResult] = []
+        for group in self.groups:
+            results.extend(
+                execute_group(
+                    group.jobs,
+                    self.checkpoint_dir,
+                    self.raise_on_error,
+                    session=self.sessions.get(group.key),
+                    share_ground_states=self.share_ground_states,
+                )
+            )
+        return results
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """One worker task per group on a process pool.
+
+    Whole groups ship to workers, so the one-SCF-per-group property survives
+    the pool; custom components registered at runtime are only visible to
+    workers on fork-based platforms. A single-group sweep has nothing to
+    parallelise and runs in-process; if no pool can be created the backend
+    warns — naming the original error and the fallback — and runs serially.
+    """
+
+    name = "process"
+
+    def __init__(self, *, checkpoint_dir=None, raise_on_error: bool = False,
+                 share_ground_states: bool = False, max_workers: int | None = None,
+                 sessions: dict | None = None):
+        super().__init__(
+            checkpoint_dir=checkpoint_dir,
+            raise_on_error=raise_on_error,
+            share_ground_states=share_ground_states,
+        )
+        self.max_workers = max_workers
+        self.sessions = {} if sessions is None else sessions
+        self.used_fallback = False
+
+    def _drain_serially(self) -> list[JobResult]:
+        fallback = SerialBackend(
+            checkpoint_dir=self.checkpoint_dir,
+            raise_on_error=self.raise_on_error,
+            share_ground_states=self.share_ground_states,
+            sessions=self.sessions,
+        )
+        for group in self.groups:
+            fallback.submit_group(group)
+        return fallback.drain()
+
+    def drain(self) -> list[JobResult]:
+        if len(self.groups) <= 1:
+            return self._drain_serially()
+        workers = min(self.max_workers or os.cpu_count() or 1, len(self.groups))
+        try:
+            executor = ProcessPoolExecutor(max_workers=workers)
+        except (OSError, ValueError, ImportError) as exc:
+            self.used_fallback = True
+            warnings.warn(
+                f"process pool unavailable ({type(exc).__name__}: {exc}); "
+                f"falling back to the '{SerialBackend.name}' execution backend"
+            )
+            return self._drain_serially()
+        results: list[JobResult] = []
+        with executor:
+            futures = [
+                executor.submit(
+                    _run_group_worker,
+                    (group.jobs, self.checkpoint_dir, self.raise_on_error, self.share_ground_states),
+                )
+                for group in self.groups
+            ]
+            for future in futures:
+                results.extend(JobResult.from_dict(d) for d in future.result())
+        return results
+
+    def execution_summary(self) -> dict:
+        summary = super().execution_summary()
+        summary["max_workers"] = self.max_workers
+        summary["used_fallback"] = self.used_fallback
+        return summary
+
+
+class DistributedBackend(ExecutionBackend):
+    """Execution over the virtual ranks of a simulated MPI communicator.
+
+    Groups are placed onto ranks by the scheduler (least-loaded packing,
+    cost-weighted for the cost-aware policies); dispatch and result traffic
+    really flow through :meth:`~repro.parallel.SimCommunicator.sendrecv` as
+    serialized payloads, so ``comm.stats`` / the per-rank accounting of
+    :meth:`execution_summary` measure a sweep the way the distributed kernels
+    measure an SCF. Results come back in dict form (observables only), exactly
+    like process-pool workers — the report JSON is bit-identical to the serial
+    backend's.
+
+    Parameters
+    ----------
+    ranks:
+        Number of virtual ranks (ignored when ``comm`` is given).
+    comm:
+        An existing :class:`~repro.parallel.SimCommunicator` to dispatch over
+        (shares its event log / statistics with the caller).
+    """
+
+    name = "distributed"
+
+    def __init__(self, *, ranks: int = 4, checkpoint_dir=None, raise_on_error: bool = False,
+                 share_ground_states: bool = False, comm: SimCommunicator | None = None):
+        super().__init__(
+            checkpoint_dir=checkpoint_dir,
+            raise_on_error=raise_on_error,
+            share_ground_states=share_ground_states,
+        )
+        self.comm = SimCommunicator(int(ranks), keep_event_log=True) if comm is None else comm
+        self.rank_stats = [
+            {
+                "rank": rank,
+                "groups": 0,
+                "jobs": 0,
+                "predicted_cost": 0.0,
+                "dispatch_bytes": 0,
+                "result_bytes": 0,
+            }
+            for rank in range(self.comm.size)
+        ]
+
+    # ------------------------------------------------------------------
+    @property
+    def ranks(self) -> int:
+        """Number of virtual ranks groups are placed onto."""
+        return self.comm.size
+
+    @staticmethod
+    def _wire(payload) -> np.ndarray:
+        """Serialize a JSON-able payload into a byte array for the communicator."""
+        # insertion order is preserved through dumps/loads, keeping the wire
+        # round-trip invisible in the report export (key order included)
+        text = json.dumps(payload, default=json_default)
+        return np.frombuffer(text.encode(), dtype=np.uint8)
+
+    def _assigned_rank(self, group: ScheduledGroup, position: int) -> int:
+        """The group's scheduler-assigned rank, or round-robin when unplaced."""
+        if group.rank is not None and 0 <= group.rank < self.comm.size:
+            return group.rank
+        return position % self.comm.size
+
+    def drain(self) -> list[JobResult]:
+        results: list[JobResult] = []
+        for position, group in enumerate(self.groups):
+            rank = self._assigned_rank(group, position)
+            group.rank = rank
+            stats = self.rank_stats[rank]
+
+            # dispatch: the expanded group spec travels root -> rank
+            dispatch = self._wire(
+                {
+                    "group_index": group.index,
+                    "job_ids": [job.job_id for job in group.jobs],
+                    "configs": [job.config.to_dict() for job in group.jobs],
+                }
+            )
+            self.comm.sendrecv(dispatch, description=f"dispatch group {group.index} -> rank {rank}")
+            stats["dispatch_bytes"] += int(dispatch.nbytes)
+
+            # "remote" execution on the rank (in-process, bit-identical physics)
+            group_results = execute_group(
+                group.jobs,
+                self.checkpoint_dir,
+                self.raise_on_error,
+                share_ground_states=self.share_ground_states,
+            )
+
+            # results travel rank -> root as observables-only dicts
+            wire = self._wire([result.to_dict() for result in group_results])
+            received = self.comm.sendrecv(wire, description=f"results group {group.index} <- rank {rank}")
+            stats["result_bytes"] += int(wire.nbytes)
+            stats["groups"] += 1
+            stats["jobs"] += group.n_jobs
+            if np.isfinite(group.predicted_cost):
+                stats["predicted_cost"] += float(group.predicted_cost)
+
+            decoded = json.loads(bytes(bytearray(received)).decode())
+            results.extend(JobResult.from_dict(d) for d in decoded)
+        return results
+
+    def execution_summary(self) -> dict:
+        summary = super().execution_summary()
+        summary["ranks"] = self.comm.size
+        summary["per_rank"] = [dict(stats) for stats in self.rank_stats]
+        summary["comm"] = {
+            "calls": dict(self.comm.stats.calls),
+            "bytes": dict(self.comm.stats.bytes),
+            "total_bytes": self.comm.stats.total_bytes(),
+        }
+        return summary

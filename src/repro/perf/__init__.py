@@ -22,6 +22,14 @@ from .scaling import (
     weak_scaling,
 )
 from .stages import StageResult, optimization_stage_times
+from .sweep_cost import (
+    applications_per_step,
+    hamiltonian_application_flops,
+    predict_group_cost,
+    predict_job_cost,
+    predict_scf_cost,
+    workload_sizes,
+)
 from .workload import SiliconWorkload, paper_workloads
 
 __all__ = [
@@ -42,6 +50,12 @@ __all__ = [
     "weak_scaling",
     "StageResult",
     "optimization_stage_times",
+    "applications_per_step",
+    "hamiltonian_application_flops",
+    "predict_group_cost",
+    "predict_job_cost",
+    "predict_scf_cost",
+    "workload_sizes",
     "SiliconWorkload",
     "paper_workloads",
 ]

@@ -105,11 +105,13 @@ class TestCheckpointResume:
             scf_after_crash = len(count_scf_solves)
             assert scf_after_crash == 1
 
-            # "fix the bug" and resume: finished jobs load, only the rest runs
+            # "fix the bug" and resume: finished jobs load, only the rest runs —
+            # and the crashed run persisted the group's converged SCF, so the
+            # resumed half adopts it instead of reconverging (zero new SCFs)
             PROPAGATORS.register(name, PROPAGATORS.get("rk4"), overwrite=True)
             report = BatchRunner(spec, checkpoint_dir=tmp_path, raise_on_error=True).run()
             assert [r.status for r in report] == ["cached", "cached", "completed", "completed"]
-            assert len(count_scf_solves) == scf_after_crash + 1  # one SCF for the resumed half
+            assert len(count_scf_solves) == scf_after_crash  # shared SCF adopted from the store
             for result in report:
                 if result.status == "cached":
                     np.testing.assert_array_equal(

@@ -1,0 +1,323 @@
+"""Execution backends: distributed equivalence, comm accounting, gs sharing.
+
+Acceptance tests of the backend layer: ``BatchRunner(spec,
+backend="distributed", ranks=4)`` runs a >=4-group sweep over the simulated
+MPI runtime, reports per-rank communication volume, and its deterministic
+report export is bit-identical to the serial backend's; the process-pool
+fallback warning names the original error and the fallback backend; shared
+ground-state checkpoints let resumed sweeps skip every SCF.
+"""
+
+import numpy as np
+import pytest
+
+from repro.batch import BatchRunner, CheckpointStore, SweepSpec
+from repro.exec import DistributedBackend, Scheduler, SerialBackend
+from repro.parallel import SimCommunicator
+
+
+@pytest.fixture()
+def four_group_spec(tiny_config):
+    """A sweep with four distinct ground-state groups x two dts (8 jobs)."""
+    return SweepSpec(
+        tiny_config,
+        {"basis.ecut": [1.5, 1.8, 2.0, 2.2], "run.time_step_as": [1.0, 2.0]},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Acceptance: distributed backend over 4 simulated ranks
+# ---------------------------------------------------------------------------
+
+
+class TestDistributedBackend:
+    def test_distributed_matches_serial_bit_for_bit(self, four_group_spec):
+        serial = BatchRunner(four_group_spec).run()
+        distributed = BatchRunner(four_group_spec, backend="distributed", ranks=4).run()
+
+        assert [r.status for r in distributed] == ["completed"] * 8
+        assert distributed.to_json(exclude_timings=True) == serial.to_json(exclude_timings=True)
+        assert distributed.fig6_table(include_wall=False) == serial.fig6_table(include_wall=False)
+        for a, b in zip(serial, distributed):
+            assert a.job_id == b.job_id
+            np.testing.assert_array_equal(a.trajectory.energies, b.trajectory.energies)
+            np.testing.assert_array_equal(a.trajectory.dipoles, b.trajectory.dipoles)
+
+    def test_per_rank_communication_volume_is_reported(self, four_group_spec):
+        report = BatchRunner(four_group_spec, backend="distributed", ranks=4).run()
+        execution = report.execution
+
+        assert execution["backend"] == "distributed"
+        assert execution["ranks"] == 4
+        per_rank = execution["per_rank"]
+        assert [s["rank"] for s in per_rank] == [0, 1, 2, 3]
+        assert sum(s["groups"] for s in per_rank) == 4
+        assert sum(s["jobs"] for s in per_rank) == 8
+        # every rank got work, and both directions of traffic were logged
+        assert all(s["groups"] == 1 for s in per_rank)
+        assert all(s["dispatch_bytes"] > 0 and s["result_bytes"] > 0 for s in per_rank)
+
+        comm = execution["comm"]
+        assert comm["calls"]["sendrecv"] == 2 * 4  # dispatch + results per group
+        assert comm["total_bytes"] == sum(
+            s["dispatch_bytes"] + s["result_bytes"] for s in per_rank
+        )
+        # the execution summary renders, one row per rank
+        table = report.execution_table()
+        assert len(table.splitlines()) == 2 + 4 + 1
+        assert "dispatch" in table and "distributed" in table
+
+    def test_execution_summary_json_exports_on_request(self, four_group_spec):
+        import json
+
+        report = BatchRunner(four_group_spec, backend="distributed", ranks=2).run()
+        plain = json.loads(report.to_json())
+        assert "execution" not in plain
+        full = json.loads(report.to_json(include_execution=True))
+        assert full["execution"]["ranks"] == 2
+        assert full["execution"]["schedule"] == "fifo"
+
+    def test_makespan_balanced_packing_assigns_ranks(self, tiny_config):
+        spec = SweepSpec(
+            tiny_config,
+            {"xc.hybrid_mixing": [0.25, 0.0], "basis.ecut": [2.0, 1.5]},
+        )
+        runner = BatchRunner(spec, backend="distributed", ranks=2, schedule="makespan_balanced")
+        report = runner.run()
+        per_rank = report.execution["per_rank"]
+        assert sum(s["groups"] for s in per_rank) == 4
+        assert all(s["groups"] > 0 for s in per_rank)
+        # cost-aware packing: the per-rank predicted costs are closer together
+        # than the single most expensive group (the LPT balance property)
+        costs = [s["predicted_cost"] for s in per_rank]
+        assert max(costs) > 0
+        assert min(costs) > 0
+
+    def test_external_communicator_accumulates_stats(self, four_group_spec):
+        comm = SimCommunicator(4, keep_event_log=True)
+        scheduler = Scheduler("fifo")
+        scheduled = scheduler.schedule(BatchRunner(four_group_spec).groups())
+        backend = DistributedBackend(comm=comm)
+        for group in scheduled:
+            backend.submit_group(group)
+        results = backend.drain()
+        assert len(results) == 8
+        assert comm.stats.total_bytes() > 0
+        assert len(comm.events) == 8  # 2 sendrecvs x 4 groups
+        assert all("group" in event.description for event in comm.events)
+
+    def test_single_rank_distributed_still_works(self, tiny_config):
+        spec = SweepSpec(tiny_config, {"basis.ecut": [1.5, 2.0]})
+        report = BatchRunner(spec, backend="distributed", ranks=1).run()
+        assert [r.status for r in report] == ["completed", "completed"]
+        assert report.execution["per_rank"][0]["groups"] == 2
+
+    def test_invalid_ranks_raise(self, four_group_spec):
+        with pytest.raises(ValueError, match="ranks"):
+            BatchRunner(four_group_spec, backend="distributed", ranks=0)
+
+    def test_distributed_respects_checkpoints(self, four_group_spec, tmp_path, count_scf_solves):
+        BatchRunner(four_group_spec, checkpoint_dir=tmp_path, backend="distributed", ranks=4).run()
+        scf_first = len(count_scf_solves)
+        assert scf_first == 4
+        resumed = BatchRunner(
+            four_group_spec, checkpoint_dir=tmp_path, backend="distributed", ranks=4
+        ).run()
+        assert [r.status for r in resumed] == ["cached"] * 8
+        assert len(count_scf_solves) == scf_first
+
+
+# ---------------------------------------------------------------------------
+# Process-pool fallback warning (satellite fix)
+# ---------------------------------------------------------------------------
+
+
+class TestProcessFallbackWarning:
+    def test_fallback_warning_names_error_and_backend(self, tiny_config, monkeypatch):
+        """The warning must carry the originating exception (type and message)
+        and the backend the sweep fell back to."""
+        import repro.exec.backends as backends_module
+
+        def refuse(*args, **kwargs):
+            raise OSError("no child processes allowed in this sandbox")
+
+        monkeypatch.setattr(backends_module, "ProcessPoolExecutor", refuse)
+        spec = SweepSpec(tiny_config, {"basis.ecut": [1.5, 2.0]})
+        with pytest.warns(
+            UserWarning,
+            match=r"OSError: no child processes allowed in this sandbox.*'serial'",
+        ):
+            report = BatchRunner(spec, backend="process").run()
+        assert [r.status for r in report] == ["completed", "completed"]
+        assert report.execution["used_fallback"] is True
+
+    def test_no_warning_on_single_group_sweep(self, tiny_config, recwarn):
+        spec = SweepSpec(tiny_config, {"run.time_step_as": [1.0, 2.0]})
+        report = BatchRunner(spec, backend="process").run()
+        assert [r.status for r in report] == ["completed", "completed"]
+        assert not [w for w in recwarn.list if "process pool" in str(w.message)]
+
+
+# ---------------------------------------------------------------------------
+# Ground-state checkpoint sharing (satellite)
+# ---------------------------------------------------------------------------
+
+
+class TestGroundStateSharing:
+    def test_new_sweep_over_same_systems_runs_zero_scf(self, tiny_config, tmp_path, count_scf_solves):
+        """A *different* sweep over the same ground states adopts the persisted
+        SCFs: zero solves, identical physics to a cold run."""
+        first = SweepSpec(tiny_config, {"run.time_step_as": [1.0]})
+        BatchRunner(first, checkpoint_dir=tmp_path).run()
+        assert len(count_scf_solves) == 1
+
+        second = SweepSpec(tiny_config, {"run.time_step_as": [2.0, 3.0]})
+        report = BatchRunner(second, checkpoint_dir=tmp_path).run()
+        assert [r.status for r in report] == ["completed", "completed"]
+        assert len(count_scf_solves) == 1  # both new jobs rode the stored SCF
+
+        reference = BatchRunner(SweepSpec(tiny_config, {"run.time_step_as": [2.0, 3.0]})).run()
+        for warm, cold in zip(report, reference):
+            np.testing.assert_array_equal(warm.trajectory.energies, cold.trajectory.energies)
+            np.testing.assert_array_equal(warm.trajectory.dipoles, cold.trajectory.dipoles)
+
+    def test_opt_out_reconverges(self, tiny_config, tmp_path, count_scf_solves):
+        first = SweepSpec(tiny_config, {"run.time_step_as": [1.0]})
+        BatchRunner(first, checkpoint_dir=tmp_path, share_ground_states=False).run()
+        second = SweepSpec(tiny_config, {"run.time_step_as": [2.0]})
+        BatchRunner(second, checkpoint_dir=tmp_path, share_ground_states=False).run()
+        assert len(count_scf_solves) == 2
+        assert not CheckpointStore(tmp_path).has_ground_state(
+            first.expand()[0].group_key
+        )
+
+    def test_prepare_ground_states_adopts_persisted_scf(self, tiny_config, tmp_path, count_scf_solves):
+        spec = SweepSpec(tiny_config, {"run.time_step_as": [1.0, 2.0]})
+        warm = BatchRunner(spec, checkpoint_dir=tmp_path)
+        assert warm.prepare_ground_states() == 1
+        assert len(count_scf_solves) == 1
+
+        # a fresh runner (new process, conceptually) warms from disk instead
+        resumed_spec = SweepSpec(tiny_config, {"run.time_step_as": [3.0]})
+        resumed = BatchRunner(resumed_spec, checkpoint_dir=tmp_path)
+        assert resumed.prepare_ground_states() == 0
+        assert len(count_scf_solves) == 1
+        report = resumed.run()
+        assert [r.status for r in report] == ["completed"]
+        assert len(count_scf_solves) == 1
+
+    def test_store_round_trips_ground_state(self, tiny_config, tmp_path):
+        from repro.api import Session
+
+        session = Session(tiny_config)
+        result = session.ground_state()
+        store = CheckpointStore(tmp_path)
+        key = "some-group-key"
+        assert not store.has_ground_state(key)
+        store.save_ground_state(key, result)
+        assert store.has_ground_state(key)
+
+        loaded = store.load_ground_state(key, basis=session.basis)
+        assert loaded.converged == result.converged
+        assert loaded.total_energy == result.total_energy
+        np.testing.assert_array_equal(
+            loaded.wavefunction.coefficients, result.wavefunction.coefficients
+        )
+        # a different key does not alias onto the stored entry
+        assert store.load_ground_state("another-group") is None
+
+    def test_gs_entries_do_not_pollute_job_ids(self, tiny_config, tmp_path):
+        spec = SweepSpec(tiny_config, {"run.time_step_as": [1.0]})
+        BatchRunner(spec, checkpoint_dir=tmp_path).run()
+        store = CheckpointStore(tmp_path)
+        assert store.completed_ids() == {spec.expand()[0].job_id}
+        assert store.has_ground_state(spec.expand()[0].group_key)
+
+    def test_warm_run_does_not_rewrite_persisted_ground_state(self, tiny_config, tmp_path):
+        """prepare_ground_states persists the SCF; run() must not rewrite the
+        (large) orbital archive it already finds on disk."""
+        spec = SweepSpec(tiny_config, {"run.time_step_as": [1.0, 2.0]})
+        runner = BatchRunner(spec, checkpoint_dir=tmp_path)
+        assert runner.prepare_ground_states() == 1
+        gs_path = CheckpointStore(tmp_path).ground_state_trajectory_path(
+            spec.expand()[0].group_key
+        )
+        before = gs_path.stat().st_mtime_ns
+        runner.run()
+        assert gs_path.stat().st_mtime_ns == before
+
+    def test_adopt_ground_state_validates_orbitals(self, tiny_config, tmp_path):
+        from repro.api import Session
+
+        session = Session(tiny_config)
+        store = CheckpointStore(tmp_path)
+        store.save_ground_state("k", session.ground_state())
+        without_basis = store.load_ground_state("k")  # no basis: no orbitals
+        fresh = Session(tiny_config)
+        with pytest.raises(ValueError, match="wavefunction"):
+            fresh.adopt_ground_state(without_basis)
+
+    def test_distributed_and_process_share_ground_states_too(self, tiny_config, tmp_path, count_scf_solves):
+        spec = SweepSpec(tiny_config, {"basis.ecut": [1.5, 2.0]})
+        BatchRunner(spec, checkpoint_dir=tmp_path, backend="distributed", ranks=2).run()
+        assert len(count_scf_solves) == 2
+        follow_up = SweepSpec(
+            tiny_config, {"basis.ecut": [1.5, 2.0], "run.time_step_as": [2.0]}
+        )
+        report = BatchRunner(follow_up, checkpoint_dir=tmp_path, backend="distributed", ranks=2).run()
+        assert [r.status for r in report] == ["completed", "completed"]
+        assert len(count_scf_solves) == 2  # adopted on the simulated ranks
+
+
+# ---------------------------------------------------------------------------
+# Backend construction / protocol surface
+# ---------------------------------------------------------------------------
+
+
+class TestBackendSurface:
+    def test_unknown_backend_raises_listing_choices(self, four_group_spec):
+        with pytest.raises(ValueError, match="serial.*process.*distributed"):
+            BatchRunner(four_group_spec, backend="threads")
+
+    def test_serial_backend_reuses_warm_sessions(self, four_group_spec, count_scf_solves):
+        runner = BatchRunner(four_group_spec)
+        assert runner.prepare_ground_states() == 4
+        runner.run()
+        assert len(count_scf_solves) == 4  # run() did not reconverge anything
+
+    def test_backends_report_their_placement(self, tiny_config):
+        spec = SweepSpec(tiny_config, {"run.time_step_as": [1.0, 2.0]})
+        serial = BatchRunner(spec).run()
+        assert serial.execution["backend"] == "serial"
+        assert serial.execution["n_groups"] == 1
+        assert serial.execution["n_jobs"] == 2
+        assert serial.execution["schedule"] == "fifo"
+        assert "serial" in serial.execution_table()
+
+    def test_unknown_costs_export_as_null_not_nan(self, tiny_config):
+        """A failing cost model leaves NaN sentinels on the scheduled groups;
+        the execution export must stay strict JSON (null, not NaN)."""
+        import json
+
+        spec = SweepSpec(tiny_config, {"run.time_step_as": [1.0, 2.0]})
+        runner = BatchRunner(spec)
+        scheduled = Scheduler("fifo", cost_fn=lambda configs: float("nan")).schedule(runner.groups())
+        backend = SerialBackend()
+        for group in scheduled:
+            backend.submit_group(group)
+        backend.drain()
+        text = json.dumps(backend.execution_summary(), allow_nan=False)  # strict
+        assert json.loads(text)["groups"][0]["predicted_cost"] is None
+
+    def test_execute_group_via_backend_matches_runner(self, tiny_config):
+        spec = SweepSpec(tiny_config, {"run.time_step_as": [1.0, 2.0]})
+        runner = BatchRunner(spec)
+        scheduled = Scheduler("fifo").schedule(runner.groups())
+        backend = SerialBackend()
+        for group in scheduled:
+            backend.submit_group(group)
+        results = backend.drain()
+        reference = runner.run()
+        assert [r.job_id for r in results] == [r.job_id for r in reference]
+        for a, b in zip(results, reference):
+            np.testing.assert_array_equal(a.trajectory.energies, b.trajectory.energies)

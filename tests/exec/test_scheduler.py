@@ -1,0 +1,168 @@
+"""Scheduler: cost-aware ordering, makespan packing, config-driven policies.
+
+Acceptance tests of the scheduling layer: ``cheapest_first`` provably orders
+ground-state groups by the ``repro.perf`` cost predictions, and
+``makespan_balanced`` packing beats naive round-robin placement on a
+synthetic heterogeneous sweep.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import ConfigError, SimulationConfig
+from repro.batch import BatchRunner, SweepSpec, config_hash, ground_state_group_key
+from repro.exec import SCHEDULE_POLICIES, ScheduledGroup, Scheduler
+from repro.perf import predict_group_cost
+
+
+@pytest.fixture()
+def heterogeneous_runner(tiny_config):
+    """A sweep whose groups have very different predicted costs, declared
+    most-expensive-first: a hybrid group (N_b^2 Fock term), a large-cutoff
+    semi-local group, then a small semi-local group."""
+    spec = SweepSpec(
+        tiny_config,
+        {
+            "xc.hybrid_mixing": [0.25, 0.0],
+            "basis.ecut": [2.5, 1.5],
+        },
+    )
+    return BatchRunner(spec)
+
+
+# ---------------------------------------------------------------------------
+# Ordering policies
+# ---------------------------------------------------------------------------
+
+
+class TestOrdering:
+    def test_fifo_keeps_expansion_order(self, heterogeneous_runner):
+        grouped = heterogeneous_runner.groups()
+        scheduled = Scheduler("fifo").schedule(grouped)
+        assert [g.key for g in scheduled] == list(grouped)
+        assert [g.index for g in scheduled] == list(range(len(grouped)))
+
+    def test_cheapest_first_orders_by_perf_prediction(self, heterogeneous_runner):
+        """Acceptance: the submission order under ``cheapest_first`` is exactly
+        ascending ``repro.perf.predict_group_cost``."""
+        grouped = heterogeneous_runner.groups()
+        scheduled = Scheduler("cheapest_first").schedule(grouped)
+
+        reference = {
+            key: predict_group_cost([job.config for job in jobs])
+            for key, jobs in grouped.items()
+        }
+        costs = [g.predicted_cost for g in scheduled]
+        assert costs == sorted(reference.values())
+        assert [g.predicted_cost for g in scheduled] == [reference[g.key] for g in scheduled]
+        # the sweep was declared most-expensive-first, so the policy provably
+        # reordered (it did not just keep fifo order)
+        assert [g.index for g in scheduled] != list(range(len(scheduled)))
+        assert costs[0] < costs[-1]
+
+    def test_makespan_balanced_orders_largest_first(self, heterogeneous_runner):
+        scheduled = Scheduler("makespan_balanced").schedule(heterogeneous_runner.groups())
+        costs = [g.predicted_cost for g in scheduled]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ValueError, match="fifo"):
+            Scheduler("random")
+
+    def test_failing_cost_model_degrades_to_expansion_order(self, heterogeneous_runner):
+        def broken(configs):
+            raise RuntimeError("no cost model for this structure")
+
+        grouped = heterogeneous_runner.groups()
+        scheduled = Scheduler("cheapest_first", cost_fn=broken).schedule(grouped)
+        assert [g.index for g in scheduled] == list(range(len(grouped)))
+        assert all(np.isnan(g.predicted_cost) for g in scheduled)
+
+
+# ---------------------------------------------------------------------------
+# Packing onto ranks
+# ---------------------------------------------------------------------------
+
+
+def _synthetic_groups(costs):
+    return [
+        ScheduledGroup(key=f"g{i}", index=i, jobs=[], predicted_cost=float(c))
+        for i, c in enumerate(costs)
+    ]
+
+
+class TestPacking:
+    def test_fifo_packing_is_round_robin(self):
+        groups = _synthetic_groups([100.0, 1.0, 1.0, 1.0])
+        bins = Scheduler("fifo").pack(groups, 2)
+        assert [g.rank for g in groups] == [0, 1, 0, 1]
+        assert [len(b) for b in bins] == [2, 2]
+
+    def test_makespan_balanced_beats_naive_round_robin(self):
+        """Acceptance: on a heterogeneous synthetic sweep, LPT ordering +
+        least-loaded packing yields a strictly smaller makespan than the
+        naive expansion-order round-robin."""
+        costs = [7.0, 8.0, 2.0, 3.0, 2.0, 2.0]
+
+        naive = _synthetic_groups(costs)
+        Scheduler("fifo").pack(naive, 2)
+        naive_makespan = max(
+            sum(g.weight for g in naive if g.rank == r) for r in range(2)
+        )
+        assert naive_makespan == pytest.approx(13.0)  # ranks get 7+2+2 vs 8+3+2
+
+        scheduler = Scheduler("makespan_balanced")
+        groups = _synthetic_groups(costs)
+        groups.sort(key=lambda g: -g.predicted_cost)  # what schedule() produces
+        bins = scheduler.pack(groups, 2)
+        assert scheduler.makespan(bins) == pytest.approx(12.0)  # 8+2+2 vs 7+3+2
+        assert scheduler.makespan(bins) < naive_makespan
+
+    def test_unknown_costs_spread_instead_of_piling_up(self):
+        groups = _synthetic_groups([float("nan")] * 4)
+        bins = Scheduler("makespan_balanced").pack(groups, 4)
+        assert [len(b) for b in bins] == [1, 1, 1, 1]
+
+    def test_pack_requires_positive_rank_count(self):
+        with pytest.raises(ValueError, match="n_ranks"):
+            Scheduler().pack([], 0)
+
+
+# ---------------------------------------------------------------------------
+# The run.schedule config section
+# ---------------------------------------------------------------------------
+
+
+class TestScheduleConfig:
+    def test_policy_round_trips_and_validates(self):
+        config = SimulationConfig.from_dict({"run": {"schedule": {"policy": "cheapest_first"}}})
+        assert config.run.schedule_policy == "cheapest_first"
+        assert SimulationConfig.from_dict(config.to_dict()).run.schedule_policy == "cheapest_first"
+
+    def test_default_policy_is_fifo(self, tiny_config):
+        assert tiny_config.run.schedule_policy == "fifo"
+        assert BatchRunner(SweepSpec(tiny_config)).schedule == "fifo"
+
+    def test_invalid_policy_raises_with_valid_choices(self):
+        with pytest.raises(ConfigError, match="cheapest_first"):
+            SimulationConfig.from_dict({"run": {"schedule": {"policy": "slowest_first"}}})
+        with pytest.raises(ConfigError, match="policy"):
+            SimulationConfig.from_dict({"run": {"schedule": {"ranks": 4}}})
+
+    def test_all_declared_policies_are_constructible(self):
+        for policy in SCHEDULE_POLICIES:
+            assert Scheduler(policy).policy == policy
+
+    def test_schedule_never_affects_group_key_or_job_identity(self, tiny_config):
+        """Scheduling decides *when* a job runs, never what it computes: the
+        ground-state grouping and the checkpoint ids must be invariant."""
+        scheduled = tiny_config.with_overrides({"run.schedule.policy": "makespan_balanced"})
+        assert ground_state_group_key(scheduled) == ground_state_group_key(tiny_config)
+        assert config_hash(scheduled) == config_hash(tiny_config)
+
+    def test_runner_argument_overrides_config_policy(self, tiny_config):
+        config = tiny_config.with_overrides({"run.schedule.policy": "cheapest_first"})
+        runner = BatchRunner(SweepSpec(config))
+        assert runner.schedule == "cheapest_first"
+        override = BatchRunner(SweepSpec(config), schedule="fifo")
+        assert override.schedule == "fifo"
