@@ -1,8 +1,18 @@
-"""Fig. 7: strong scaling of the total time and of the individual components."""
+"""Fig. 7: strong scaling of the total time and of the individual components.
+
+Two levels: the paper's own per-SCF-step strong scaling (the component model
+vs Table 1), and the *sweep-level* analogue — the same fixed workload of
+ground-state groups dispatched over a growing number of simulated ranks, with
+the makespan predicted by the machine-aware cost stack from the per-rank
+execution volumes ``SweepReport.execution`` logs.
+"""
 
 import pytest
 
 from repro.analysis import TABLE1, TABLE1_GPU_COUNTS, format_table
+from repro.api import SimulationConfig
+from repro.batch import BatchRunner, SweepSpec
+from repro.cost import sweep_execution_point
 from repro.perf import parallel_efficiency, strong_scaling
 
 
@@ -45,3 +55,69 @@ def test_fig7_strong_scaling(benchmark, report_writer):
     # speedup over CPU peaks around 34x
     best = max(p.speedup_vs_cpu for p in points)
     assert best == pytest.approx(34.0, rel=0.3)
+
+
+#: a fixed 4-group x 2-dt sweep on the tiny semi-local H2 system, the
+#: sweep-level strong-scaling workload (same groups, more ranks)
+_SWEEP_BASE = {
+    "system": {"structure": "hydrogen_molecule", "params": {"box": 8.0, "bond_length": 1.4}},
+    "basis": {"ecut": 2.0},
+    "xc": {"hybrid_mixing": 0.0},
+    "run": {"time_step_as": 1.0, "n_steps": 2, "gs_scf_tolerance": 1e-6},
+}
+_SWEEP_AXES = {"basis.ecut": [1.5, 1.7, 2.0, 2.2], "run.time_step_as": [1.0, 2.0]}
+
+
+def test_fig7_sweep_strong_scaling(benchmark, report_writer):
+    """Sweep-level strong scaling: fixed groups, growing simulated rank count.
+
+    Each point dispatches the same sweep over more ranks with makespan
+    balancing; the curve is built from the per-rank volumes and predicted
+    wall seconds of ``SweepReport.execution`` — the ROADMAP's "wire per-rank
+    volumes into the scaling benchmarks" item.
+    """
+    rank_counts = (1, 2, 4)
+
+    def run_all():
+        points = {}
+        for ranks in rank_counts:
+            report = BatchRunner(
+                SweepSpec(SimulationConfig.from_dict(_SWEEP_BASE), _SWEEP_AXES),
+                backend="distributed",
+                ranks=ranks,
+                schedule="makespan_balanced",
+            ).run()
+            points[ranks] = sweep_execution_point(report.execution)
+        return points
+
+    points = benchmark(run_all)
+
+    base = points[rank_counts[0]]
+    rows = [
+        [
+            ranks,
+            p["n_groups"],
+            p["predicted_makespan_s"],
+            base["predicted_makespan_s"] / p["predicted_makespan_s"],
+            p["comm_bytes"],
+            p["comm_seconds"],
+        ]
+        for ranks, p in points.items()
+    ]
+    report_writer(
+        "fig7_sweep_strong_scaling",
+        format_table(
+            ["ranks", "groups", "predicted makespan [s]", "speedup", "comm [B]", "comm [s]"],
+            rows,
+        ),
+    )
+
+    # the same jobs ran at every rank count, so the result traffic is constant
+    assert len({p["n_jobs"] for p in points.values()}) == 1
+    # strong scaling: predicted makespan falls monotonically with rank count,
+    # and the speedup at 4 ranks is real (> 2x over one rank for 4 groups)
+    makespans = [points[r]["predicted_makespan_s"] for r in rank_counts]
+    assert all(b < a for a, b in zip(makespans, makespans[1:]))
+    assert makespans[0] / makespans[-1] > 2.0
+    # every transfer carries a modeled wall cost
+    assert all(p["comm_seconds"] > 0 for p in points.values())

@@ -11,10 +11,12 @@ backend-invariant.
 """
 
 import json
+import time
 
 from repro.analysis import format_table
 from repro.api import SimulationConfig
 from repro.batch import BatchRunner, SweepSpec
+from repro.cost import sweep_execution_point
 from repro.exec import Scheduler
 
 #: a 4-group x 2-dt sweep on the tiny semi-local H2 system — large enough to
@@ -106,4 +108,100 @@ def test_backend_exports_are_identical(benchmark, report_writer):
             ["backend", "jobs", "completed", "export bytes"],
             [[name, summary["n_jobs"], summary["n_completed"], len(text)] for name, text in exports.items()],
         ),
+    )
+
+
+def _greedy_makespan(seconds: list[float], workers: int) -> float:
+    """Least-loaded (LPT) makespan of independent durations over ``workers``."""
+    loads = [0.0] * max(1, workers)
+    for duration in sorted(seconds, reverse=True):
+        loads[loads.index(min(loads))] += duration
+    return max(loads)
+
+
+def _makespan_row(report, backend: str, policy: str, ranks: int | None,
+                  workers: int, elapsed_s: float) -> dict:
+    """One ``BENCH_sweep.json`` row: predicted vs observed makespan of a run.
+
+    Distributed runs reduce the per-rank accounting via
+    :func:`repro.cost.sweep_execution_point` (the busiest modeled rank).
+    Serial/process runs predict by packing the groups' predicted seconds over
+    their actual worker count and report the *measured elapsed* wall time —
+    for a parallel pool that is the true makespan, where summing per-job wall
+    times would double-count overlapping work.
+    """
+    execution = report.execution
+    if execution.get("per_rank"):
+        point = sweep_execution_point(execution)
+        predicted, observed = point["predicted_makespan_s"], point["observed_makespan_s"]
+    else:
+        predicted = _greedy_makespan(
+            [g.get("predicted_seconds") or 0.0 for g in execution.get("groups", [])], workers
+        )
+        observed = float(elapsed_s)
+    return {
+        "backend": backend,
+        "policy": policy,
+        "ranks": ranks,
+        "predicted_makespan_s": predicted,
+        "observed_makespan_s": observed,
+    }
+
+
+def test_bench_sweep_artifact(benchmark, results_dir, report_writer):
+    """Emit the ``BENCH_sweep.json`` perf artifact (uploaded by CI).
+
+    Schema: ``{"schema": "bench_sweep/1", "rows": [{backend, policy, ranks,
+    predicted_makespan_s, observed_makespan_s}, ...]}`` — the
+    backend-x-policy makespan matrix that seeds the performance trajectory.
+    """
+    matrix = [
+        ("serial", "fifo", None),
+        ("process", "cheapest_first", None),
+        ("distributed", "makespan_balanced", 4),
+        ("distributed", "energy_aware", 4),
+    ]
+
+    def run_all():
+        rows = []
+        for backend, policy, ranks in matrix:
+            kwargs = {"backend": backend, "schedule": policy}
+            if ranks is not None:
+                kwargs["ranks"] = ranks
+            workers = 1
+            if backend == "process":
+                workers = 2
+                kwargs["max_workers"] = workers
+            start = time.perf_counter()
+            report = BatchRunner(_spec(), **kwargs).run()
+            elapsed = time.perf_counter() - start
+            rows.append(_makespan_row(report, backend, policy, ranks, workers, elapsed))
+        return rows
+
+    rows = benchmark(run_all)
+
+    artifact = {"schema": "bench_sweep/1", "rows": rows}
+    path = results_dir / "BENCH_sweep.json"
+    path.write_text(json.dumps(artifact, indent=2) + "\n")
+    print(f"\n[BENCH_sweep] wrote {path}")
+
+    report_writer(
+        "sweep_backend_makespans",
+        format_table(
+            ["backend", "policy", "ranks", "predicted makespan [s]", "observed makespan [s]"],
+            [
+                [r["backend"], r["policy"], r["ranks"] or "-",
+                 r["predicted_makespan_s"], r["observed_makespan_s"]]
+                for r in rows
+            ],
+        ),
+    )
+
+    assert all(r["predicted_makespan_s"] > 0 for r in rows)
+    assert all(r["observed_makespan_s"] > 0 for r in rows)
+    # balancing over 4 ranks must beat the serial whole-sweep makespan
+    by_key = {(r["backend"], r["policy"]): r for r in rows}
+    assert (
+        by_key[("distributed", "makespan_balanced")]["predicted_makespan_s"]
+        < by_key[("serial", "fifo")]["predicted_makespan_s"]
     )

@@ -136,6 +136,7 @@ def smoke(backend: str, ranks: int, schedule: str | None) -> int:
             return 1
         if backend != "serial":
             print(report.execution_table())
+            print(report.scaling_table())
             serial = BatchRunner(spec).run()
             if report.to_json(exclude_timings=True) != serial.to_json(exclude_timings=True):
                 print(
@@ -163,7 +164,7 @@ if __name__ == "__main__":
     parser.add_argument("--ranks", type=int, default=4, help="simulated MPI ranks (distributed backend)")
     parser.add_argument(
         "--schedule",
-        choices=["fifo", "cheapest_first", "makespan_balanced"],
+        choices=["fifo", "cheapest_first", "makespan_balanced", "energy_aware"],
         default=None,
         help="scheduling policy (default: the config's run.schedule.policy)",
     )

@@ -1,7 +1,7 @@
 """repro — reproduction of "Parallel Transport Time-Dependent Density Functional
 Theory Calculations with Hybrid Functional on Summit" (Jia, Wang, Lin; SC 2019).
 
-The package is organised in eight layers:
+The package is organised in nine layers:
 
 * :mod:`repro.pw` — a from-scratch plane-wave DFT/TDDFT engine (the PWDFT
   analogue): grids, pseudopotentials, Hartree/XC, screened Fock exchange,
@@ -31,10 +31,15 @@ The package is organised in eight layers:
   :class:`~repro.batch.SweepReport` regenerates the paper's comparison
   tables in one call.
 * :mod:`repro.exec` — the pluggable execution layer under the sweep engine: a
-  cost-aware :class:`~repro.exec.Scheduler` (``repro.perf`` workload
-  predictions) and the serial / process-pool / simulated-MPI-distributed
+  machine-aware :class:`~repro.exec.Scheduler` (``repro.cost`` wall-clock /
+  energy predictions) and the serial / process-pool / simulated-MPI-distributed
   :class:`~repro.exec.ExecutionBackend` implementations with per-rank
   communication accounting.
+* :mod:`repro.cost` — the machine-aware cost stack joining ``repro.perf``
+  workload predictions with the ``repro.machine`` hardware model: FLOPs →
+  seconds through GPU throughput, transfer bytes → seconds through
+  NVLink/X-Bus/InfiniBand link speeds (:class:`~repro.cost.NodePlacement`),
+  occupied nodes → watts and joules.
 
 Subpackages are imported lazily: ``import repro`` is cheap, and
 ``repro.api``, ``repro.pw`` etc. materialise on first attribute access.
@@ -49,7 +54,7 @@ from . import constants
 __version__ = "1.1.0"
 
 #: Subpackages resolved lazily via module ``__getattr__`` (PEP 562).
-_SUBPACKAGES = ("pw", "core", "parallel", "machine", "perf", "analysis", "api", "batch", "exec")
+_SUBPACKAGES = ("pw", "core", "parallel", "machine", "perf", "analysis", "api", "batch", "exec", "cost")
 
 __all__ = ["constants", "__version__", *_SUBPACKAGES]
 

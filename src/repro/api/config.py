@@ -48,10 +48,11 @@ __all__ = [
 
 #: sweep scheduling policies accepted by ``run.schedule`` (see
 #: :class:`repro.exec.Scheduler`): ``"fifo"`` keeps expansion order,
-#: ``"cheapest_first"`` orders ground-state groups by predicted cost,
-#: ``"makespan_balanced"`` orders largest-first so cost-aware packing
-#: balances per-rank makespan
-SCHEDULE_POLICIES = ("fifo", "cheapest_first", "makespan_balanced")
+#: ``"cheapest_first"`` orders ground-state groups by predicted wall time,
+#: ``"makespan_balanced"`` orders longest-first so machine-aware packing
+#: balances per-rank predicted seconds, ``"energy_aware"`` orders and packs
+#: by predicted energy to solution (watts x seconds of the occupied nodes)
+SCHEDULE_POLICIES = ("fifo", "cheapest_first", "makespan_balanced", "energy_aware")
 
 
 class ConfigError(ValueError):
@@ -227,6 +228,14 @@ class RunConfig:
         affects the physics of a single run). Currently one key: ``policy``,
         one of :data:`SCHEDULE_POLICIES` (default ``"fifo"``), e.g.
         ``{"schedule": {"policy": "cheapest_first"}}``.
+    machine:
+        Machine-model section consumed by :mod:`repro.cost` / :mod:`repro.exec`
+        (like ``schedule``, it never affects the physics of a single run —
+        both are excluded from group keys and config hashes). Keys:
+        ``name`` — a :data:`repro.cost.MACHINES` preset (default
+        ``"summit"``) — and ``gpus_per_group`` — the modeled GPUs each
+        ground-state group occupies (default 1), e.g.
+        ``{"machine": {"name": "summit", "gpus_per_group": 6}}``.
     """
 
     time_step_as: float = 50.0
@@ -236,11 +245,22 @@ class RunConfig:
     gs_scf_tolerance: float = 1e-6
     gs_max_scf_iterations: int = 60
     schedule: dict = field(default_factory=dict)
+    machine: dict = field(default_factory=dict)
 
     @property
     def schedule_policy(self) -> str:
         """The configured scheduling policy (default ``"fifo"``)."""
         return self.schedule.get("policy", "fifo")
+
+    @property
+    def machine_name(self) -> str:
+        """The configured machine preset (default ``"summit"``)."""
+        return self.machine.get("name", "summit")
+
+    @property
+    def machine_gpus_per_group(self) -> int:
+        """Modeled GPUs each ground-state group occupies (default 1)."""
+        return int(self.machine.get("gpus_per_group", 1))
 
     def __post_init__(self) -> None:
         _require_positive("run", "time_step_as", self.time_step_as)
@@ -255,6 +275,26 @@ class RunConfig:
         if policy not in SCHEDULE_POLICIES:
             raise ConfigError(
                 f"run.schedule.policy must be one of {list(SCHEDULE_POLICIES)}, got {policy!r}"
+            )
+        _require_mapping("run", "machine", self.machine)
+        unknown = sorted(set(self.machine) - {"name", "gpus_per_group"})
+        if unknown:
+            raise ConfigError(
+                f"unknown key(s) {unknown} in run.machine; valid keys: ['name', 'gpus_per_group']"
+            )
+        machine_name = self.machine.get("name", "summit")
+        # deferred: repro.cost.MACHINES stays the single source of machine
+        # presets (a preset added there is immediately valid in configs)
+        from ..cost.model import MACHINES
+
+        if machine_name not in MACHINES:
+            raise ConfigError(
+                f"run.machine.name must be one of {sorted(MACHINES)}, got {machine_name!r}"
+            )
+        gpus = self.machine.get("gpus_per_group", 1)
+        if not isinstance(gpus, int) or isinstance(gpus, bool) or gpus < 1:
+            raise ConfigError(
+                f"run.machine.gpus_per_group must be a positive integer, got {gpus!r}"
             )
         for name in ("n_steps", "gs_max_scf_iterations"):
             value = getattr(self, name)

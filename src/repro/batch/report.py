@@ -16,7 +16,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..analysis import format_table, pivot_table
+from ..constants import HARTREE_TO_EV
 from ..core.dynamics import Trajectory, json_default
+from ..core.observables import AbsorptionSpectrum, absorption_spectrum
 
 __all__ = ["JobResult", "SweepReport"]
 
@@ -229,11 +231,12 @@ class SweepReport:
     # Execution placement / communication accounting
     # ------------------------------------------------------------------
     def execution_table(self) -> str:
-        """Per-rank placement and communication volume of the executing backend.
+        """Per-rank placement and communication accounting of the backend.
 
         Meaningful for the distributed backend (one row per simulated rank:
-        groups, jobs, predicted cost, dispatch/result bytes); other backends
-        produce a one-line summary.
+        node placement, the modeled link to the root rank, groups, jobs,
+        predicted seconds, dispatch/result bytes and their predicted wall
+        cost); other backends produce a one-line summary.
         """
         info = self.execution
         if not info:
@@ -248,15 +251,21 @@ class SweepReport:
             if info.get("used_fallback"):
                 line += " (fell back to serial)"
             return line
-        headers = ["rank", "groups", "jobs", "predicted cost", "dispatch [B]", "result [B]"]
+        headers = [
+            "rank", "node", "link", "groups", "jobs",
+            "predicted [s]", "dispatch [B]", "result [B]", "comm [s]",
+        ]
         rows = [
             [
                 stats.get("rank", "-"),
+                stats.get("node", "-"),
+                stats.get("link", "-"),
                 stats.get("groups", 0),
                 stats.get("jobs", 0),
-                stats.get("predicted_cost", 0.0),
+                stats.get("predicted_seconds", stats.get("predicted_cost", 0.0)),
                 stats.get("dispatch_bytes", 0),
                 stats.get("result_bytes", 0),
+                stats.get("comm_seconds", 0.0),
             ]
             for stats in per_rank
         ]
@@ -268,6 +277,52 @@ class SweepReport:
             f"total comm = {comm.get('total_bytes', 0)} B"
         )
         return f"{table}\n{footer}"
+
+    def scaling_table(self) -> str:
+        """Predicted vs observed wall time and energy, per simulated rank.
+
+        The sweep-level analogue of the paper's Fig. 7/8 scaling tables: each
+        row is one modeled rank with its node, the link its traffic crossed,
+        its predicted makespan share (seconds on the modeled machine slice,
+        from :class:`repro.cost.MachineCostModel`), the wall time its jobs
+        actually took in-process, the predicted transfer cost of its sweep
+        traffic, and the predicted energy of its node-seconds. The footer
+        reduces the table to the scaling-curve point the ``bench_fig7/8``
+        benchmarks consume (:func:`repro.cost.sweep_execution_point`).
+        """
+        per_rank = self.execution.get("per_rank")
+        if not per_rank:
+            return (
+                "(no per-rank execution accounting; run the sweep with "
+                "backend='distributed' to model placement and wall costs)"
+            )
+        from ..cost import sweep_execution_point  # deferred: keeps report import light
+
+        headers = [
+            "rank", "node", "link", "jobs",
+            "predicted [s]", "observed [s]", "comm [s]", "energy [J]",
+        ]
+        rows = [
+            [
+                stats.get("rank", "-"),
+                stats.get("node", "-"),
+                stats.get("link", "-"),
+                stats.get("jobs", 0),
+                stats.get("predicted_seconds", 0.0),
+                stats.get("observed_seconds", 0.0),
+                stats.get("comm_seconds", 0.0),
+                stats.get("predicted_energy_j", 0.0),
+            ]
+            for stats in per_rank
+        ]
+        point = sweep_execution_point(self.execution)
+        footer = (
+            f"ranks={point['ranks']} predicted makespan = {point['predicted_makespan_s']:.3g} s "
+            f"(observed {point['observed_makespan_s']:.3g} s), "
+            f"predicted energy = {point['predicted_energy_j']:.3g} J, "
+            f"sweep traffic = {point['comm_bytes']} B in {point['comm_seconds']:.3g} s"
+        )
+        return f"{format_table(headers, rows)}\n{footer}"
 
     # ------------------------------------------------------------------
     # Tables
@@ -408,6 +463,98 @@ class SweepReport:
                     err["energy_error"],
                     err["dipole_error"],
                     "(reference)" if r.job_id == reference.job_id else "",
+                ]
+            )
+        return format_table(headers, rows)
+
+    # ------------------------------------------------------------------
+    # Absorption spectra (delta-kick sweeps)
+    # ------------------------------------------------------------------
+    def _delta_kick_results(self) -> list[tuple[JobResult, dict]]:
+        """Completed jobs whose configured pulse resolves to a delta kick."""
+        from ..api.registry import PULSES  # deferred: avoids a batch -> api import cycle
+        from ..pw.laser import DeltaKick
+
+        kicked: list[tuple[JobResult, dict]] = []
+        for r in self.completed:
+            if r.trajectory is None:
+                continue
+            laser = (r.config or {}).get("laser", {})
+            try:
+                factory = PULSES.get(laser.get("pulse", "none"))
+            except Exception:
+                continue
+            if factory is DeltaKick:
+                kicked.append((r, dict(laser.get("params", {}))))
+        return kicked
+
+    def spectra(
+        self,
+        damping: float = 0.01,
+        max_energy: float = 1.5,
+        n_frequencies: int = 400,
+    ) -> dict[str, AbsorptionSpectrum]:
+        """Absorption spectra of every completed delta-kick job.
+
+        Each job's recorded dipole (projected on its kick polarization) is
+        Fourier transformed by
+        :func:`repro.core.observables.absorption_spectrum`, normalised by its
+        configured kick strength. Returns ``{job_id: AbsorptionSpectrum}``;
+        jobs whose pulse is not a delta kick are skipped, so a mixed sweep
+        yields spectra for exactly its kicked runs.
+        """
+        spectra: dict[str, AbsorptionSpectrum] = {}
+        for r, params in self._delta_kick_results():
+            trajectory = r.trajectory
+            polarization = params.get("polarization")
+            if polarization is None:
+                polarization = [0.0, 0.0, 1.0]  # the DeltaKick default
+            dipole = trajectory.dipole_along(polarization)
+            spectra[r.job_id] = absorption_spectrum(
+                np.asarray(trajectory.times, dtype=float),
+                dipole,
+                kick_strength=float(params.get("strength", 1.0)),
+                damping=damping,
+                max_energy=max_energy,
+                n_frequencies=n_frequencies,
+            )
+        return spectra
+
+    def spectrum_table(
+        self,
+        damping: float = 0.01,
+        max_energy: float = 1.5,
+        n_frequencies: int = 400,
+    ) -> str:
+        """The absorption-spectrum sweep view: one row per delta-kick run.
+
+        Aggregates the per-job spectra of :meth:`spectra` across the sweep
+        axes (e.g. supercell sizes), reporting each run's strongest feature —
+        the peak position in eV and its dipole strength — next to the axis
+        values that produced it. Raises with an actionable message when the
+        sweep contains no completed delta-kick runs.
+        """
+        spectra = self.spectra(damping=damping, max_energy=max_energy, n_frequencies=n_frequencies)
+        if not spectra:
+            raise ValueError(
+                "no completed delta-kick jobs to build spectra from; sweep a config "
+                "with laser.pulse='delta_kick' (and laser.params.strength) to use "
+                "the absorption-spectrum view"
+            )
+        headers = ["job"] + self.axes + ["samples", "peak [eV]", "peak strength [arb]"]
+        rows = []
+        for r in self.completed:
+            spectrum = spectra.get(r.job_id)
+            if spectrum is None:
+                continue
+            peak = int(np.argmax(np.abs(spectrum.strength)))
+            rows.append(
+                [r.job_id]
+                + [self._format_point_value(r.point.get(axis, "-")) for axis in self.axes]
+                + [
+                    int(r.trajectory.n_steps) + 1,
+                    float(spectrum.frequencies[peak]) * HARTREE_TO_EV,
+                    float(spectrum.strength[peak]),
                 ]
             )
         return format_table(headers, rows)

@@ -11,10 +11,12 @@ policy lives in :mod:`repro.exec`; the runner only wires the pieces:
   With a checkpoint directory the converged SCFs are persisted too, so a
   *resumed* sweep skips even the first group SCF.
 * **Scheduling.** A :class:`~repro.exec.Scheduler` orders (and, for the
-  distributed backend, packs) the groups by :mod:`repro.perf.sweep_cost`
-  predictions — ``fifo`` (default), ``cheapest_first`` or
-  ``makespan_balanced``, selected via ``run.schedule`` in the base config or
-  the ``schedule=`` argument.
+  distributed backend, packs) the groups by predicted wall seconds / joules —
+  :mod:`repro.perf.sweep_cost` workload predictions turned machine-aware by a
+  :class:`repro.cost.MachineCostModel` built from ``run.machine`` — under
+  ``fifo`` (default), ``cheapest_first``, ``makespan_balanced`` or
+  ``energy_aware``, selected via ``run.schedule`` in the base config or the
+  ``schedule=`` argument.
 * **Backends.** ``"serial"`` runs in-process; ``"process"`` dispatches one
   group per worker task to a process pool (falling back to serial with a
   warning naming the original error); ``"distributed"`` places groups onto
@@ -71,6 +73,15 @@ class BatchRunner:
     schedule:
         Scheduling policy (see :data:`repro.api.SCHEDULE_POLICIES`); defaults
         to the base config's ``run.schedule.policy``.
+    machine:
+        The :class:`repro.cost.MachineCostModel` predicting wall seconds and
+        joules for the scheduler and the report; defaults to the model the
+        base config's ``run.machine`` section describes. Pass ``None``
+        explicitly to schedule on relative FLOPs only.
+    placement:
+        A :class:`repro.cost.NodePlacement` mapping the distributed backend's
+        virtual ranks onto modeled nodes; defaults to a dense placement of
+        ``ranks`` ranks on the machine. Distributed backend only.
     raise_on_error:
         If ``True``, the first failing job re-raises (completed jobs keep
         their checkpoints, so the sweep is resumable). If ``False`` (default)
@@ -79,6 +90,8 @@ class BatchRunner:
         Persist converged SCFs in the checkpoint store and adopt them on
         resume (default ``True``; no effect without ``checkpoint_dir``).
     """
+
+    _DEFAULT_MACHINE = object()  # distinguishes "from the config" from an explicit None
 
     def __init__(
         self,
@@ -89,9 +102,12 @@ class BatchRunner:
         max_workers: int | None = None,
         ranks: int = 4,
         schedule: str | None = None,
+        machine=_DEFAULT_MACHINE,
+        placement=None,
         raise_on_error: bool = False,
         share_ground_states: bool = True,
     ):
+        from ..cost import MachineCostModel
         from ..exec import Scheduler  # deferred: repro.exec imports repro.batch
 
         if backend not in BACKEND_NAMES:
@@ -107,7 +123,11 @@ class BatchRunner:
         self.max_workers = max_workers
         self.ranks = int(ranks)
         self.schedule = spec.base.run.schedule_policy if schedule is None else schedule
-        self.scheduler = Scheduler(self.schedule)  # validates the policy name
+        self.machine = (
+            MachineCostModel.from_config(spec.base) if machine is self._DEFAULT_MACHINE else machine
+        )
+        self.placement = placement
+        self.scheduler = Scheduler(self.schedule, machine=self.machine)  # validates the policy name
         self.raise_on_error = bool(raise_on_error)
         self.share_ground_states = bool(share_ground_states)
         self._sessions: dict[str, Session] = {}
@@ -172,7 +192,12 @@ class BatchRunner:
         if self.backend == "process":
             return ProcessPoolBackend(max_workers=self.max_workers, sessions=self._sessions, **common)
         if self.backend == "distributed":
-            return DistributedBackend(ranks=self.ranks, **common)
+            from ..cost import NodePlacement
+
+            placement = self.placement
+            if placement is None and self.machine is not None:
+                placement = NodePlacement(n_ranks=self.ranks, system=self.machine.system)
+            return DistributedBackend(ranks=self.ranks, placement=placement, **common)
         return SerialBackend(sessions=self._sessions, **common)
 
     def run(self) -> SweepReport:

@@ -40,22 +40,30 @@ from ..api.config import ConfigError, SimulationConfig
 
 __all__ = ["SweepJob", "SweepSpec", "ground_state_group_key", "config_hash"]
 
-#: run-section fields that only affect the propagation (or, for ``schedule``,
-#: only how the sweep is ordered), never the shared ground state — jobs
-#: differing in nothing else can share one SCF
-_PROPAGATION_ONLY_RUN_FIELDS = ("time_step_as", "n_steps", "schedule")
+#: run-section fields that only affect the propagation (or, for ``schedule``
+#: and ``machine``, only how/where the sweep is modeled to run), never the
+#: shared ground state — jobs differing in nothing else can share one SCF
+_PROPAGATION_ONLY_RUN_FIELDS = ("time_step_as", "n_steps", "schedule", "machine")
+
+#: run-section fields that never affect what a job computes, only when and on
+#: which modeled hardware it runs — excluded from job identity entirely
+_EXECUTION_ONLY_RUN_FIELDS = ("schedule", "machine")
 
 
 def config_hash(config: SimulationConfig | dict) -> str:
     """Short stable hash of a config (dict form), for checkpoint staleness checks.
 
-    The ``run.schedule`` section is excluded: scheduling only decides *when* a
+    The ``run.schedule`` and ``run.machine`` sections are excluded: scheduling
+    and machine modeling only decide *when* and *on what modeled hardware* a
     job runs, never what it computes, so rerunning a sweep under a different
-    policy must keep every job id and checkpoint valid.
+    policy or machine must keep every job id and checkpoint valid.
     """
     data = config.to_dict() if isinstance(config, SimulationConfig) else config
-    if isinstance(data.get("run"), dict) and "schedule" in data["run"]:
-        data = {**data, "run": {k: v for k, v in data["run"].items() if k != "schedule"}}
+    if isinstance(data.get("run"), dict) and set(data["run"]) & set(_EXECUTION_ONLY_RUN_FIELDS):
+        data = {
+            **data,
+            "run": {k: v for k, v in data["run"].items() if k not in _EXECUTION_ONLY_RUN_FIELDS},
+        }
     text = json.dumps(data, sort_keys=True, default=str)
     return hashlib.sha1(text.encode()).hexdigest()[:12]
 

@@ -5,15 +5,18 @@ GPUs under a communication cost model; this package is the sweep-level
 analogue. It separates *what* a sweep computes (:mod:`repro.batch`) from
 *when and where* each ground-state group runs:
 
-* a :class:`Scheduler` orders and packs groups using
-  :mod:`repro.perf.sweep_cost` predictions (``fifo`` / ``cheapest_first`` /
-  ``makespan_balanced``, selectable via ``run.schedule`` in
-  :class:`~repro.api.SimulationConfig`);
+* a :class:`Scheduler` orders and packs groups using predicted wall seconds
+  and joules — :mod:`repro.perf.sweep_cost` workload predictions converted by
+  the :class:`repro.cost.MachineCostModel` machine model (``fifo`` /
+  ``cheapest_first`` / ``makespan_balanced`` / ``energy_aware``, selectable
+  via ``run.schedule`` in :class:`~repro.api.SimulationConfig`);
 * an :class:`ExecutionBackend` runs them — :class:`SerialBackend` in-process,
   :class:`ProcessPoolBackend` over a process pool, and
   :class:`DistributedBackend` over the virtual ranks of the simulated MPI
   runtime (:class:`~repro.parallel.SimCommunicator`), with dispatch/result
-  communication volume logged per rank.
+  communication volume logged per rank and every transfer attributed to a
+  modeled Summit link (NVLink / X-Bus / InfiniBand) by a
+  :class:`repro.cost.NodePlacement`.
 
 :class:`~repro.batch.BatchRunner` is the thin orchestrator on top:
 spec → scheduler → backend → report.

@@ -17,8 +17,11 @@ work was placed. Three implementations:
   :class:`~repro.parallel.SimCommunicator`. Group dispatch and result
   collection really move serialized payloads through the communicator's
   point-to-point channel, so the per-rank communication volume of a sweep is
-  logged the same way the distributed kernels log theirs — the
-  ``bench_fig7/8``-style communication analyses extend to sweep traffic.
+  logged the same way the distributed kernels log theirs — and a
+  :class:`~repro.cost.NodePlacement` maps ranks onto modeled Summit nodes so
+  every transfer is attributed to NVLink, X-Bus or InfiniBand with a
+  predicted wall cost; the ``bench_fig7/8``-style scaling analyses extend to
+  sweep traffic.
 
 All backends run whole groups, so the one-SCF-per-group property survives any
 placement, and all of them share the checkpoint/resume and ground-state
@@ -39,6 +42,7 @@ from ..api.session import Session
 from ..batch.checkpoint import CheckpointStore
 from ..batch.report import JobResult
 from ..core.dynamics import json_default
+from ..cost.placement import NodePlacement
 from ..parallel.comm import SimCommunicator
 from .scheduler import ScheduledGroup
 
@@ -191,6 +195,12 @@ class ExecutionBackend(ABC):
     # ------------------------------------------------------------------
     def execution_summary(self) -> dict:
         """How the submitted work was (or will be) placed, JSON-serializable."""
+
+        def _finite(value) -> float | None:
+            # the scheduler's cost-model-failure sentinel is NaN, which is not
+            # valid strict JSON — export it as null instead
+            return float(value) if np.isfinite(value) else None
+
         return {
             "backend": self.name,
             "n_groups": len(self.groups),
@@ -199,9 +209,10 @@ class ExecutionBackend(ABC):
                 {
                     "index": g.index,
                     "n_jobs": g.n_jobs,
-                    # the scheduler's cost-model-failure sentinel is NaN, which
-                    # is not valid strict JSON — export it as null instead
-                    "predicted_cost": float(g.predicted_cost) if np.isfinite(g.predicted_cost) else None,
+                    "predicted_cost": _finite(g.predicted_cost),
+                    "predicted_seconds": _finite(g.predicted_seconds),
+                    "predicted_energy_j": _finite(g.predicted_energy_j),
+                    "n_gpus": g.n_gpus,
                     "rank": g.rank,
                 }
                 for g in self.groups
@@ -315,12 +326,17 @@ class DistributedBackend(ExecutionBackend):
     """Execution over the virtual ranks of a simulated MPI communicator.
 
     Groups are placed onto ranks by the scheduler (least-loaded packing,
-    cost-weighted for the cost-aware policies); dispatch and result traffic
-    really flow through :meth:`~repro.parallel.SimCommunicator.sendrecv` as
-    serialized payloads, so ``comm.stats`` / the per-rank accounting of
-    :meth:`execution_summary` measure a sweep the way the distributed kernels
-    measure an SCF. Results come back in dict form (observables only), exactly
-    like process-pool workers — the report JSON is bit-identical to the serial
+    weighted by predicted seconds/joules for the machine-aware policies);
+    dispatch and result traffic really flow through
+    :meth:`~repro.parallel.SimCommunicator.sendrecv` as serialized payloads,
+    so ``comm.stats`` / the per-rank accounting of :meth:`execution_summary`
+    measure a sweep the way the distributed kernels measure an SCF. A
+    :class:`~repro.cost.NodePlacement` maps the virtual ranks onto modeled
+    Summit nodes (6 ranks per node, 3 per socket), so every transfer is
+    additionally attributed to the wire it crosses — NVLink within a socket,
+    X-Bus across sockets, InfiniBand across nodes — with a predicted wall
+    cost. Results come back in dict form (observables only), exactly like
+    process-pool workers — the report JSON is bit-identical to the serial
     backend's.
 
     Parameters
@@ -330,26 +346,52 @@ class DistributedBackend(ExecutionBackend):
     comm:
         An existing :class:`~repro.parallel.SimCommunicator` to dispatch over
         (shares its event log / statistics with the caller).
+    placement:
+        The rank → node mapping used to cost transfers; defaults to a dense
+        :class:`~repro.cost.NodePlacement` of the backend's ranks on Summit.
+        Must cover at least as many ranks as the communicator has.
     """
 
     name = "distributed"
 
     def __init__(self, *, ranks: int = 4, checkpoint_dir=None, raise_on_error: bool = False,
-                 share_ground_states: bool = False, comm: SimCommunicator | None = None):
+                 share_ground_states: bool = False, comm: SimCommunicator | None = None,
+                 placement: NodePlacement | None = None):
         super().__init__(
             checkpoint_dir=checkpoint_dir,
             raise_on_error=raise_on_error,
             share_ground_states=share_ground_states,
         )
+        if comm is None and ranks < 1:
+            raise ValueError(
+                f"DistributedBackend needs ranks >= 1, got {ranks}; "
+                "pass the number of virtual MPI ranks to dispatch over"
+            )
         self.comm = SimCommunicator(int(ranks), keep_event_log=True) if comm is None else comm
+        if placement is None:
+            placement = NodePlacement(n_ranks=self.comm.size)
+        if placement.n_ranks < self.comm.size:
+            raise ValueError(
+                f"placement models {placement.n_ranks} rank(s) but the backend "
+                f"dispatches over {self.comm.size}; build NodePlacement(n_ranks="
+                f"{self.comm.size}) (or larger)"
+            )
+        self.placement = placement
         self.rank_stats = [
             {
                 "rank": rank,
+                "node": placement.node_of(rank),
+                "socket": placement.socket_of(rank),
+                "link": placement.link_between(0, rank).value,
                 "groups": 0,
                 "jobs": 0,
                 "predicted_cost": 0.0,
+                "predicted_seconds": 0.0,
+                "predicted_energy_j": 0.0,
+                "observed_seconds": 0.0,
                 "dispatch_bytes": 0,
                 "result_bytes": 0,
+                "comm_seconds": 0.0,
             }
             for rank in range(self.comm.size)
         ]
@@ -391,6 +433,7 @@ class DistributedBackend(ExecutionBackend):
             )
             self.comm.sendrecv(dispatch, description=f"dispatch group {group.index} -> rank {rank}")
             stats["dispatch_bytes"] += int(dispatch.nbytes)
+            stats["comm_seconds"] += self.placement.transfer_seconds(dispatch.nbytes, 0, rank)
 
             # "remote" execution on the rank (in-process, bit-identical physics)
             group_results = execute_group(
@@ -404,10 +447,18 @@ class DistributedBackend(ExecutionBackend):
             wire = self._wire([result.to_dict() for result in group_results])
             received = self.comm.sendrecv(wire, description=f"results group {group.index} <- rank {rank}")
             stats["result_bytes"] += int(wire.nbytes)
+            stats["comm_seconds"] += self.placement.transfer_seconds(wire.nbytes, rank, 0)
             stats["groups"] += 1
             stats["jobs"] += group.n_jobs
             if np.isfinite(group.predicted_cost):
                 stats["predicted_cost"] += float(group.predicted_cost)
+            if np.isfinite(group.predicted_seconds):
+                stats["predicted_seconds"] += float(group.predicted_seconds)
+            if np.isfinite(group.predicted_energy_j):
+                stats["predicted_energy_j"] += float(group.predicted_energy_j)
+            stats["observed_seconds"] += sum(
+                float(r.summary.get("wall_time") or 0.0) for r in group_results
+            )
 
             decoded = json.loads(bytes(bytearray(received)).decode())
             results.extend(JobResult.from_dict(d) for d in decoded)
@@ -416,6 +467,10 @@ class DistributedBackend(ExecutionBackend):
     def execution_summary(self) -> dict:
         summary = super().execution_summary()
         summary["ranks"] = self.comm.size
+        summary["placement"] = {
+            "ranks_per_node": self.placement.ranks_per_node,
+            "n_nodes": self.placement.n_nodes,
+        }
         summary["per_rank"] = [dict(stats) for stats in self.rank_stats]
         summary["comm"] = {
             "calls": dict(self.comm.stats.calls),

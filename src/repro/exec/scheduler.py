@@ -1,22 +1,28 @@
-"""Cost-aware ordering and packing of sweep ground-state groups.
+"""Machine-aware ordering and packing of sweep ground-state groups.
 
 The unit of scheduling is the *ground-state group* (all jobs sharing one SCF,
 see :func:`repro.batch.sweep.ground_state_group_key`): groups are what the
-backends dispatch, so they are what the scheduler orders and places. Costs
-come from :mod:`repro.perf.sweep_cost` — relative FLOP predictions derived
-from the cheap layers of each config (structure, grid, propagator), mirroring
-the paper's own cost-model-guided resource allocation.
+backends dispatch, so they are what the scheduler orders and places. Costs are
+layered the way the paper planned its campaigns: relative FLOPs from
+:mod:`repro.perf.sweep_cost` (the cheap config layers only), turned into
+predicted wall seconds and joules on a parameterised Summit by a
+:class:`repro.cost.MachineCostModel` — so the scheduler packs by *time on the
+machine*, not by unitless work.
 
 Policies (``run.schedule.policy`` in :class:`~repro.api.SimulationConfig`, or
 the ``schedule=`` argument of :class:`~repro.batch.BatchRunner`):
 
 * ``"fifo"`` — expansion order, cost-blind (the pre-existing behaviour);
   packing onto ranks is round-robin.
-* ``"cheapest_first"`` — ascending predicted cost: short jobs surface early,
-  a sweep with a wall-time budget gets the most results per hour.
-* ``"makespan_balanced"`` — descending predicted cost (LPT), so greedy
+* ``"cheapest_first"`` — ascending predicted wall time: short jobs surface
+  early, a sweep with a wall-time budget gets the most results per hour.
+* ``"makespan_balanced"`` — descending predicted wall time (LPT), so greedy
   least-loaded packing bounds the distributed makespan at ``(4/3 - 1/3m)`` of
-  the optimum.
+  the optimum; packing weighs groups by predicted *seconds*.
+* ``"energy_aware"`` — descending predicted energy to solution; ordering and
+  packing weigh groups by predicted *joules* (watts of the occupied nodes
+  times seconds), which differs from time whenever groups occupy differently
+  sized machine slices (``run.machine.gpus_per_group``).
 """
 
 from __future__ import annotations
@@ -26,9 +32,14 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..api.config import SCHEDULE_POLICIES
+from ..cost.model import MachineCostModel
 from ..perf.sweep_cost import predict_group_cost
 
 __all__ = ["SCHEDULE_POLICIES", "ScheduledGroup", "Scheduler"]
+
+#: sentinel distinguishing "build the default machine model" from an explicit
+#: ``machine=None`` (pure relative-FLOP scheduling, no wall-clock predictions)
+_DEFAULT_MACHINE = object()
 
 
 @dataclass
@@ -46,6 +57,13 @@ class ScheduledGroup:
     predicted_cost:
         Relative cost from :func:`~repro.perf.sweep_cost.predict_group_cost`
         (``nan`` when prediction failed, e.g. an exotic custom structure).
+    predicted_seconds:
+        Predicted wall-clock seconds on the modeled machine slice (``nan``
+        without a machine model or when prediction failed).
+    predicted_energy_j:
+        Predicted energy to solution in Joules (``nan`` as above).
+    n_gpus:
+        Modeled GPUs the group occupies (``run.machine.gpus_per_group``).
     rank:
         Assigned virtual rank (set by :meth:`Scheduler.pack`; ``None`` for
         purely local backends).
@@ -55,6 +73,9 @@ class ScheduledGroup:
     index: int
     jobs: list = field(repr=False)
     predicted_cost: float = float("nan")
+    predicted_seconds: float = float("nan")
+    predicted_energy_j: float = float("nan")
+    n_gpus: int = 1
     rank: int | None = None
 
     @property
@@ -64,34 +85,55 @@ class ScheduledGroup:
 
     @property
     def weight(self) -> float:
-        """The packing weight: the predicted cost, or 1.0 when unknown —
-        unknown-cost groups then spread round-robin instead of piling up on
-        one rank."""
-        cost = self.predicted_cost
-        return float(cost) if np.isfinite(cost) and cost > 0 else 1.0
+        """Best-effort load of this group alone: predicted seconds on the
+        machine, falling back to the relative FLOPs, then to 1.0. Packing
+        never mixes these units across groups — see
+        :meth:`Scheduler._weight_metric`."""
+        for value in (self.predicted_seconds, self.predicted_cost):
+            if np.isfinite(value) and value > 0:
+                return float(value)
+        return 1.0
+
+    def metric_value(self, metric: str) -> float:
+        """The group's load in one named unit (``Scheduler._weight_metric``)."""
+        if metric == "energy":
+            return float(self.predicted_energy_j)
+        if metric == "seconds":
+            return float(self.predicted_seconds)
+        if metric == "cost":
+            return float(self.predicted_cost)
+        return 1.0
 
 
 class Scheduler:
-    """Order and pack ground-state groups by predicted cost.
+    """Order and pack ground-state groups by predicted time and energy.
 
     Parameters
     ----------
     policy:
         One of :data:`SCHEDULE_POLICIES`.
     cost_fn:
-        Override for the cost model: a callable taking the list of expanded
-        :class:`~repro.api.SimulationConfig`\\ s of one group and returning a
-        relative cost. Defaults to
-        :func:`repro.perf.sweep_cost.predict_group_cost`.
+        Override for the workload model: a callable taking the list of
+        expanded :class:`~repro.api.SimulationConfig`\\ s of one group and
+        returning a relative cost. Defaults to
+        :func:`repro.perf.sweep_cost.predict_group_cost`. The machine model
+        converts whatever this returns into seconds, so a custom workload
+        model keeps machine-aware packing.
+    machine:
+        The :class:`repro.cost.MachineCostModel` turning relative costs into
+        predicted seconds and joules. Defaults to the Summit model; pass
+        ``None`` to schedule on relative FLOPs only (no wall-clock
+        predictions).
     """
 
-    def __init__(self, policy: str = "fifo", cost_fn=None):
+    def __init__(self, policy: str = "fifo", cost_fn=None, machine=_DEFAULT_MACHINE):
         if policy not in SCHEDULE_POLICIES:
             raise ValueError(
                 f"schedule policy must be one of {list(SCHEDULE_POLICIES)}, got {policy!r}"
             )
         self.policy = policy
         self.cost_fn = predict_group_cost if cost_fn is None else cost_fn
+        self.machine = MachineCostModel() if machine is _DEFAULT_MACHINE else machine
 
     # ------------------------------------------------------------------
     def predict_cost(self, jobs) -> float:
@@ -105,6 +147,37 @@ class Scheduler:
         except Exception:
             return float("nan")
 
+    def _annotate(self, group: ScheduledGroup) -> None:
+        """Attach the machine-model predictions to one group (best-effort).
+
+        The machine only converts the workload prediction already on the
+        group; when that prediction failed (``nan``) the wall-clock fields
+        stay ``nan`` too, so a deliberately disabled cost model degrades every
+        policy to expansion order instead of resurrecting a default.
+        """
+        if self.machine is None or not np.isfinite(group.predicted_cost):
+            return
+        try:
+            estimate = self.machine.group_estimate(
+                [job.config for job in group.jobs], flops=group.predicted_cost
+            )
+        except Exception:
+            return
+        group.predicted_seconds = float(estimate.seconds)
+        group.predicted_energy_j = float(estimate.energy_joules)
+        group.n_gpus = int(estimate.n_gpus)
+
+    def _order_metric(self, group: ScheduledGroup) -> float:
+        """What the cost-ordered policies sort by (energy for energy-aware,
+        else predicted seconds, falling back to relative FLOPs)."""
+        candidates = (
+            (group.predicted_energy_j,) if self.policy == "energy_aware" else ()
+        ) + (group.predicted_seconds, group.predicted_cost)
+        for value in candidates:
+            if np.isfinite(value):
+                return float(value)
+        return float("nan")
+
     def schedule(self, grouped: dict[str, list]) -> list[ScheduledGroup]:
         """Annotate and order the groups of a sweep according to the policy.
 
@@ -117,35 +190,62 @@ class Scheduler:
             ScheduledGroup(key=key, index=index, jobs=list(jobs), predicted_cost=self.predict_cost(jobs))
             for index, (key, jobs) in enumerate(grouped.items())
         ]
+        for group in groups:
+            self._annotate(group)
         if self.policy == "cheapest_first":
-            groups.sort(key=lambda g: (not np.isfinite(g.predicted_cost), g.predicted_cost, g.index))
-        elif self.policy == "makespan_balanced":
-            groups.sort(key=lambda g: (not np.isfinite(g.predicted_cost), -g.predicted_cost, g.index))
+            groups.sort(key=lambda g: (not np.isfinite(self._order_metric(g)), self._order_metric(g), g.index))
+        elif self.policy in ("makespan_balanced", "energy_aware"):
+            groups.sort(key=lambda g: (not np.isfinite(self._order_metric(g)), -self._order_metric(g), g.index))
         return groups
+
+    def _weight_metric(self, groups: list[ScheduledGroup]) -> str:
+        """The one unit every group of a packing is weighed in.
+
+        The richest metric *available on every group* wins: joules (energy
+        policy only), then seconds, then relative FLOPs, then uniform 1.0.
+        Choosing per packing rather than per group means a single failed
+        machine estimate degrades the whole packing one level instead of
+        mixing seconds with FLOPs (units ~15 orders of magnitude apart, which
+        would pin one rank); all-unknown costs degrade to round-robin.
+        """
+        if self.policy == "fifo":
+            return "uniform"
+        candidates = (("energy",) if self.policy == "energy_aware" else ()) + ("seconds", "cost")
+        for metric in candidates:
+            values = [group.metric_value(metric) for group in groups]
+            if all(np.isfinite(v) and v > 0 for v in values):
+                return metric
+        return "uniform"
 
     def pack(self, groups: list[ScheduledGroup], n_ranks: int) -> list[list[ScheduledGroup]]:
         """Place ordered groups onto ``n_ranks`` virtual ranks.
 
-        Greedy least-loaded assignment in the given order, weighting by
-        predicted cost for the cost-aware policies; under ``"fifo"`` every
-        group weighs 1, which makes the greedy equivalent to round-robin.
-        Sets each group's :attr:`~ScheduledGroup.rank` and returns the
-        per-rank group lists.
+        Greedy least-loaded assignment in the given order. The load unit
+        matches the policy (see :meth:`_weight_metric`): predicted seconds
+        for the time-aware policies, predicted joules for ``"energy_aware"``;
+        under ``"fifo"`` every group weighs 1, which makes the greedy
+        equivalent to round-robin. Sets each group's
+        :attr:`~ScheduledGroup.rank` and returns the per-rank lists.
         """
         if n_ranks < 1:
             raise ValueError("n_ranks must be >= 1")
+        metric = self._weight_metric(groups)
         loads = [0.0] * n_ranks
         bins: list[list[ScheduledGroup]] = [[] for _ in range(n_ranks)]
         for group in groups:
             rank = min(range(n_ranks), key=lambda r: (loads[r], r))
             group.rank = rank
             bins[rank].append(group)
-            loads[rank] += 1.0 if self.policy == "fifo" else group.weight
+            loads[rank] += group.metric_value(metric)
         return bins
 
-    @staticmethod
-    def makespan(bins: list[list[ScheduledGroup]]) -> float:
-        """Predicted makespan of a packing: the heaviest rank's total weight."""
+    def makespan(self, bins: list[list[ScheduledGroup]]) -> float:
+        """Predicted makespan of a packing: the heaviest rank's total load,
+        in the same unit :meth:`pack` balanced — predicted seconds for the
+        time-aware policies, predicted joules under ``"energy_aware"``."""
         if not bins:
             return 0.0
-        return max(sum(g.weight for g in rank_groups) for rank_groups in bins)
+        metric = self._weight_metric([group for rank_groups in bins for group in rank_groups])
+        return max(
+            sum(g.metric_value(metric) for g in rank_groups) for rank_groups in bins
+        )

@@ -213,3 +213,46 @@ def test_register_propagator_decorator_plugs_into_configs():
     finally:
         PROPAGATORS.unregister("test_prop_xyz")
     assert "test_prop_xyz" not in PROPAGATORS
+
+
+# ---------------------------------------------------------------------------
+# The run.machine section
+# ---------------------------------------------------------------------------
+
+
+def test_machine_section_round_trips_and_exposes_properties():
+    config = SimulationConfig.from_dict(
+        {"run": {"machine": {"name": "summit", "gpus_per_group": 6}}}
+    )
+    assert config.run.machine_name == "summit"
+    assert config.run.machine_gpus_per_group == 6
+    again = SimulationConfig.from_dict(config.to_dict())
+    assert again.run.machine == {"name": "summit", "gpus_per_group": 6}
+
+
+def test_machine_defaults_are_summit_one_gpu():
+    config = SimulationConfig.from_dict({})
+    assert config.run.machine == {}
+    assert config.run.machine_name == "summit"
+    assert config.run.machine_gpus_per_group == 1
+
+
+def test_unknown_machine_key_lists_valid_keys():
+    with pytest.raises(ConfigError, match=r"gpus_per_group"):
+        SimulationConfig.from_dict({"run": {"machine": {"nodes": 2}}})
+
+
+def test_unknown_machine_name_lists_presets():
+    with pytest.raises(ConfigError, match="summit"):
+        SimulationConfig.from_dict({"run": {"machine": {"name": "frontier"}}})
+
+
+@pytest.mark.parametrize("gpus", [0, -1, 1.5, True, "six"])
+def test_bad_gpus_per_group_rejected(gpus):
+    with pytest.raises(ConfigError, match="gpus_per_group"):
+        SimulationConfig.from_dict({"run": {"machine": {"gpus_per_group": gpus}}})
+
+
+def test_machine_must_be_a_mapping():
+    with pytest.raises(ConfigError, match="run.machine"):
+        SimulationConfig.from_dict({"run": {"machine": "summit"}})

@@ -143,3 +143,117 @@ class TestAccuracy:
         empty = SweepReport([_result(0, "cn", 1.0, 2, status="failed")])
         with pytest.raises(ValueError, match="no completed jobs"):
             empty.reference_result()
+
+
+class TestScalingTable:
+    def _execution(self):
+        return {
+            "backend": "distributed",
+            "schedule": "makespan_balanced",
+            "ranks": 2,
+            "n_groups": 2,
+            "n_jobs": 4,
+            "per_rank": [
+                {"rank": 0, "node": 0, "link": "nvlink", "groups": 1, "jobs": 2,
+                 "predicted_seconds": 2.5, "observed_seconds": 0.4,
+                 "predicted_energy_j": 10.0, "comm_seconds": 0.001,
+                 "dispatch_bytes": 100, "result_bytes": 400},
+                {"rank": 1, "node": 1, "link": "ib", "groups": 1, "jobs": 2,
+                 "predicted_seconds": 1.5, "observed_seconds": 0.3,
+                 "predicted_energy_j": 6.0, "comm_seconds": 0.002,
+                 "dispatch_bytes": 100, "result_bytes": 400},
+            ],
+        }
+
+    def test_per_rank_predicted_vs_observed_rows(self, report):
+        report.execution = self._execution()
+        table = report.scaling_table()
+        lines = table.splitlines()
+        assert "predicted [s]" in lines[0] and "observed [s]" in lines[0]
+        assert "energy [J]" in lines[0]
+        assert len(lines) == 2 + 2 + 1  # header, separator, 2 ranks, footer
+        assert "nvlink" in table and "ib" in table
+        assert "predicted makespan = 2.5 s" in lines[-1]
+        assert "observed 0.4 s" in lines[-1]
+        assert "predicted energy = 16 J" in lines[-1]
+        assert "1000 B" in lines[-1]
+
+    def test_non_distributed_backends_get_a_pointer(self, report):
+        report.execution = {"backend": "serial", "n_groups": 2, "n_jobs": 4}
+        assert "backend='distributed'" in report.scaling_table()
+
+    def test_execution_table_carries_links_and_wall_costs(self, report):
+        report.execution = self._execution()
+        table = report.execution_table()
+        assert "link" in table.splitlines()[0] and "comm [s]" in table.splitlines()[0]
+        assert "nvlink" in table and "ib" in table
+
+
+def _kick_result(index, n_atoms, omega, *, pulse="delta_kick", strength=0.01) -> JobResult:
+    """A delta-kick job whose dipole oscillates at ``omega`` (Ha)."""
+    dt, n_steps = 0.4, 160
+    times = np.arange(n_steps + 1) * dt
+    dipole = 0.05 * np.sin(omega * times)
+    traj = Trajectory.from_dict(
+        {
+            "times": times.tolist(),
+            "energies": [-1.0] * (n_steps + 1),
+            "dipoles": [[float(d), 0.0, 0.0] for d in dipole],
+            "electron_numbers": [2.0] * (n_steps + 1),
+            "scf_iterations": [0] + [3] * n_steps,
+            "hamiltonian_applications": [0] + [4] * n_steps,
+            "density_errors": [0.0] * (n_steps + 1),
+            "wall_time": 0.1,
+            "metadata": {"integrator": "PT-CN"},
+        }
+    )
+    return JobResult(
+        index=index,
+        job_id=f"job{index:04d}-kick",
+        point={"system.params.n_atoms": n_atoms},
+        config={
+            "laser": {"pulse": pulse, "params": {"strength": strength, "polarization": [1, 0, 0]}},
+        },
+        status="completed",
+        summary={"time_step_as": 10.0, "n_steps": n_steps, "wall_time": 0.1},
+        trajectory=traj,
+    )
+
+
+class TestSpectra:
+    def test_spectra_peak_at_the_driving_frequency(self):
+        """The spectrum of a sinusoidal dipole peaks at its frequency, for
+        every job of the sweep."""
+        report = SweepReport(
+            [_kick_result(0, 2, omega=0.3), _kick_result(1, 4, omega=0.6)],
+            axes=["system.params.n_atoms"],
+        )
+        spectra = report.spectra(damping=0.005, max_energy=1.0, n_frequencies=800)
+        assert set(spectra) == {"job0000-kick", "job0001-kick"}
+        for job_id, omega in (("job0000-kick", 0.3), ("job0001-kick", 0.6)):
+            s = spectra[job_id]
+            peak = s.frequencies[np.argmax(np.abs(s.strength))]
+            assert peak == pytest.approx(omega, abs=0.02)
+
+    def test_spectrum_table_aggregates_across_sizes(self):
+        report = SweepReport(
+            [_kick_result(0, 2, omega=0.3), _kick_result(1, 4, omega=0.6)],
+            axes=["system.params.n_atoms"],
+        )
+        table = report.spectrum_table(damping=0.005, max_energy=1.0)
+        lines = table.splitlines()
+        assert "system.params.n_atoms" in lines[0] and "peak [eV]" in lines[0]
+        assert len(lines) == 2 + 2
+
+    def test_kick_alias_resolves_and_others_are_skipped(self):
+        """A mixed sweep yields spectra for exactly its delta-kick runs; the
+        registry alias 'kick' counts."""
+        aliased = _kick_result(0, 2, omega=0.3, pulse="kick")
+        plain = _result(1, "ptcn", 1.0, 8)  # gaussian-free config, no kick
+        report = SweepReport([aliased, plain])
+        spectra = report.spectra(max_energy=1.0)
+        assert set(spectra) == {"job0000-kick"}
+
+    def test_no_kicked_jobs_raises_actionable_error(self, report):
+        with pytest.raises(ValueError, match="delta_kick"):
+            report.spectrum_table()

@@ -128,6 +128,108 @@ class TestDistributedBackend:
 
 
 # ---------------------------------------------------------------------------
+# Node placement and link-attributed transfer costs (repro.cost integration)
+# ---------------------------------------------------------------------------
+
+
+class TestPlacementCosting:
+    def test_ranks_below_one_rejected_with_actionable_error(self):
+        """Satellite: the backend itself rejects bad rank counts instead of
+        failing deep inside SimCommunicator."""
+        with pytest.raises(ValueError, match="ranks >= 1.*virtual MPI ranks"):
+            DistributedBackend(ranks=0)
+        with pytest.raises(ValueError, match="ranks >= 1"):
+            DistributedBackend(ranks=-3)
+
+    def test_undersized_placement_rejected_with_fix(self):
+        from repro.cost import NodePlacement
+
+        with pytest.raises(ValueError, match=r"NodePlacement\(n_ranks=4\)"):
+            DistributedBackend(ranks=4, placement=NodePlacement(n_ranks=2))
+
+    def test_every_transfer_attributed_to_a_modeled_link(self, four_group_spec):
+        """Acceptance: 8 ranks span both sockets and a second node, and every
+        rank that received work logs link-attributed traffic with a nonzero
+        predicted wall cost."""
+        report = BatchRunner(four_group_spec, backend="distributed", ranks=8).run()
+        per_rank = report.execution["per_rank"]
+        # Summit geometry: 3 ranks per socket, 6 per node
+        assert [s["link"] for s in per_rank] == (
+            ["nvlink"] * 3 + ["xbus"] * 3 + ["ib"] * 2
+        )
+        assert [s["node"] for s in per_rank] == [0] * 6 + [1] * 2
+        busy = [s for s in per_rank if s["groups"] > 0]
+        assert len(busy) == 4
+        for stats in busy:
+            assert stats["comm_seconds"] > 0
+            assert stats["dispatch_bytes"] > 0 and stats["result_bytes"] > 0
+            assert stats["predicted_seconds"] > 0
+            assert stats["predicted_energy_j"] > 0
+            assert stats["observed_seconds"] > 0
+        assert report.execution["placement"] == {"ranks_per_node": 6, "n_nodes": 2}
+
+    def test_sparse_placement_moves_traffic_to_infiniband(self, four_group_spec):
+        """A 2-ranks-per-node placement puts rank 2+ on other nodes: the same
+        sweep's traffic crosses IB instead of NVLink and costs more wall."""
+        from repro.cost import NodePlacement
+
+        dense = BatchRunner(four_group_spec, backend="distributed", ranks=4).run()
+        sparse = BatchRunner(
+            four_group_spec,
+            backend="distributed",
+            ranks=4,
+            placement=NodePlacement(n_ranks=4, ranks_per_node=2),
+        ).run()
+        dense_links = [s["link"] for s in dense.execution["per_rank"]]
+        sparse_links = [s["link"] for s in sparse.execution["per_rank"]]
+        assert dense_links == ["nvlink", "nvlink", "nvlink", "xbus"]
+        # 2 ranks per node: one per socket (x-bus), the rest across nodes
+        assert sparse_links == ["nvlink", "xbus", "ib", "ib"]
+        # same bytes, slower wires -> strictly larger predicted transfer cost
+        total = lambda r, k: sum(s[k] for s in r.execution["per_rank"])  # noqa: E731
+        assert total(sparse, "dispatch_bytes") == total(dense, "dispatch_bytes")
+        assert total(sparse, "comm_seconds") > total(dense, "comm_seconds")
+
+    def test_exports_identical_across_placements_and_policies(self, four_group_spec):
+        """Acceptance: the deterministic export is bit-identical across
+        backends, placements and scheduling policies."""
+        from repro.cost import NodePlacement
+
+        serial = BatchRunner(four_group_spec).run()
+        variants = [
+            BatchRunner(four_group_spec, backend="distributed", ranks=4).run(),
+            BatchRunner(
+                four_group_spec,
+                backend="distributed",
+                ranks=4,
+                placement=NodePlacement(n_ranks=4, ranks_per_node=1),
+            ).run(),
+            BatchRunner(
+                four_group_spec, backend="distributed", ranks=3, schedule="energy_aware"
+            ).run(),
+            BatchRunner(
+                four_group_spec, backend="distributed", ranks=2, schedule="makespan_balanced"
+            ).run(),
+        ]
+        reference = serial.to_json(exclude_timings=True)
+        for report in variants:
+            assert report.to_json(exclude_timings=True) == reference
+
+    def test_execution_summary_is_strict_json(self, four_group_spec):
+        import json
+
+        report = BatchRunner(
+            four_group_spec, backend="distributed", ranks=4, schedule="energy_aware"
+        ).run()
+        text = json.dumps(report.execution, allow_nan=False)
+        decoded = json.loads(text)
+        assert decoded["placement"]["ranks_per_node"] == 6
+        group = decoded["groups"][0]
+        assert group["predicted_seconds"] > 0
+        assert group["predicted_energy_j"] > 0
+
+
+# ---------------------------------------------------------------------------
 # Process-pool fallback warning (satellite fix)
 # ---------------------------------------------------------------------------
 

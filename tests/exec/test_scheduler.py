@@ -123,9 +123,121 @@ class TestPacking:
         bins = Scheduler("makespan_balanced").pack(groups, 4)
         assert [len(b) for b in bins] == [1, 1, 1, 1]
 
+    def test_packing_never_mixes_units_across_groups(self):
+        """One group whose machine estimate failed (nan seconds, finite FLOPs)
+        degrades the whole packing to FLOP weights — it must not weigh its
+        raw FLOPs (~1e9) against the others' seconds (~1e-5), which would pin
+        one rank and round-robin the rest."""
+        groups = _synthetic_groups([4e9, 3e9, 2e9, 1e9])
+        for group in groups[:3]:
+            group.predicted_seconds = group.predicted_cost / 1e14  # machine ok
+        # groups[3] keeps predicted_seconds nan: estimate failed for it alone
+        scheduler = Scheduler("makespan_balanced")
+        bins = scheduler.pack(groups, 2)
+        # consistent FLOP weighting balances 4+1 vs 3+2 (x1e9)...
+        assert scheduler.makespan(bins) == pytest.approx(5e9)
+        # ...whereas mixed units would give the nan-seconds group a rank of
+        # its own and pile the three others (9e9) onto the second rank
+        loads = [sum(g.predicted_cost for g in b) for b in bins]
+        assert max(loads) != pytest.approx(9e9)
+
     def test_pack_requires_positive_rank_count(self):
         with pytest.raises(ValueError, match="n_ranks"):
             Scheduler().pack([], 0)
+
+
+# ---------------------------------------------------------------------------
+# Machine-aware scheduling (repro.cost integration)
+# ---------------------------------------------------------------------------
+
+
+class TestMachineAwareness:
+    def test_schedule_annotates_wall_seconds_and_energy(self, heterogeneous_runner):
+        """Every predictable group carries machine-model wall/energy estimates
+        ordered like the relative costs (uniform machine slice)."""
+        scheduled = Scheduler("makespan_balanced").schedule(heterogeneous_runner.groups())
+        for group in scheduled:
+            assert np.isfinite(group.predicted_seconds) and group.predicted_seconds > 0
+            assert np.isfinite(group.predicted_energy_j) and group.predicted_energy_j > 0
+            assert group.n_gpus == 1
+        seconds = [g.predicted_seconds for g in scheduled]
+        assert seconds == sorted(seconds, reverse=True)
+
+    def test_pack_weighs_by_predicted_seconds_not_flops(self):
+        """Acceptance: when seconds and FLOPs disagree (different machine
+        slices), ``makespan_balanced`` packing follows the seconds."""
+        groups = [
+            ScheduledGroup(key="slow", index=0, jobs=[], predicted_cost=1.0, predicted_seconds=10.0),
+            ScheduledGroup(key="q1", index=1, jobs=[], predicted_cost=100.0, predicted_seconds=1.0),
+            ScheduledGroup(key="q2", index=2, jobs=[], predicted_cost=100.0, predicted_seconds=1.0),
+            ScheduledGroup(key="q3", index=3, jobs=[], predicted_cost=100.0, predicted_seconds=1.0),
+        ]
+        Scheduler("makespan_balanced").pack(groups, 2)
+        # seconds-weighted least-loaded: the 10 s group owns rank 0, the three
+        # 1 s groups share rank 1 (FLOP weighting would interleave them)
+        assert [g.rank for g in groups] == [0, 1, 1, 1]
+
+    def test_energy_aware_orders_by_joules_not_seconds(self, tiny_config):
+        """A big group on a large slice finishes *sooner* but burns *more*
+        joules (more nodes): energy_aware and makespan_balanced order the two
+        groups oppositely."""
+        spec = SweepSpec(
+            tiny_config,
+            {
+                "basis.ecut": [1.5, 2.0],
+                "run.machine": [{"gpus_per_group": 1}, {"gpus_per_group": 12}],
+            },
+            mode="zip",
+        )
+        grouped = BatchRunner(spec).groups()
+        assert len(grouped) == 2
+
+        def cost_fn(configs):
+            # 50 units of work on 12 GPUs (2 nodes): 4.17 s-units, 2x watts;
+            # 5 units on 1 GPU (1 node): 5 s-units — shorter wins flip
+            return 50.0 if configs[0].run.machine_gpus_per_group == 12 else 5.0
+
+        by_time = Scheduler("makespan_balanced", cost_fn=cost_fn).schedule(grouped)
+        by_energy = Scheduler("energy_aware", cost_fn=cost_fn).schedule(grouped)
+        assert [g.index for g in by_time] == [0, 1]  # 1-GPU group is slower
+        assert [g.index for g in by_energy] == [1, 0]  # 12-GPU group burns more
+        assert by_energy[0].n_gpus == 12
+        assert by_energy[0].predicted_energy_j > by_energy[1].predicted_energy_j
+        assert by_energy[0].predicted_seconds < by_energy[1].predicted_seconds
+
+    def test_custom_cost_fn_flows_into_wall_predictions(self, heterogeneous_runner):
+        """The machine converts whatever the workload model returns, so a
+        custom cost_fn keeps machine-aware packing."""
+        from repro.cost import MachineCostModel
+
+        scheduler = Scheduler("makespan_balanced", cost_fn=lambda configs: 7.0)
+        scheduled = scheduler.schedule(heterogeneous_runner.groups())
+        expected = MachineCostModel().group_estimate(
+            [job.config for job in scheduled[0].jobs], flops=7.0
+        )
+        assert scheduled[0].predicted_seconds == pytest.approx(expected.seconds)
+        assert scheduled[0].predicted_energy_j == pytest.approx(expected.energy_joules)
+
+    def test_machine_none_disables_wall_predictions(self, heterogeneous_runner):
+        """``machine=None`` schedules on relative FLOPs only (the pre-cost
+        behaviour), with the same ordering."""
+        grouped = heterogeneous_runner.groups()
+        scheduled = Scheduler("cheapest_first", machine=None).schedule(grouped)
+        assert all(np.isnan(g.predicted_seconds) for g in scheduled)
+        assert all(np.isnan(g.predicted_energy_j) for g in scheduled)
+        costs = [g.predicted_cost for g in scheduled]
+        assert costs == sorted(costs)
+
+    def test_broken_cost_fn_keeps_wall_predictions_nan(self, heterogeneous_runner):
+        """A deliberately failing workload model must not be resurrected by
+        the machine layer's default."""
+
+        def broken(configs):
+            raise RuntimeError("no model")
+
+        scheduled = Scheduler("energy_aware", cost_fn=broken).schedule(heterogeneous_runner.groups())
+        assert all(np.isnan(g.predicted_seconds) for g in scheduled)
+        assert [g.index for g in scheduled] == list(range(len(scheduled)))
 
 
 # ---------------------------------------------------------------------------
@@ -159,6 +271,16 @@ class TestScheduleConfig:
         scheduled = tiny_config.with_overrides({"run.schedule.policy": "makespan_balanced"})
         assert ground_state_group_key(scheduled) == ground_state_group_key(tiny_config)
         assert config_hash(scheduled) == config_hash(tiny_config)
+
+    def test_machine_never_affects_group_key_or_job_identity(self, tiny_config):
+        """Like scheduling, the machine model decides *where and how fast* a
+        job is modeled to run, never what it computes: grouping and checkpoint
+        ids must be invariant under ``run.machine``."""
+        on_summit = tiny_config.with_overrides(
+            {"run.machine": {"name": "summit", "gpus_per_group": 6}}
+        )
+        assert ground_state_group_key(on_summit) == ground_state_group_key(tiny_config)
+        assert config_hash(on_summit) == config_hash(tiny_config)
 
     def test_runner_argument_overrides_config_policy(self, tiny_config):
         config = tiny_config.with_overrides({"run.schedule.policy": "cheapest_first"})
