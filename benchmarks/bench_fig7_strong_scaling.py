@@ -13,6 +13,7 @@ from repro.analysis import TABLE1, TABLE1_GPU_COUNTS, format_table
 from repro.api import SimulationConfig
 from repro.batch import BatchRunner, SweepSpec
 from repro.cost import sweep_execution_point
+from repro.exec import ExecutionSettings
 from repro.perf import parallel_efficiency, strong_scaling
 
 
@@ -83,9 +84,9 @@ def test_fig7_sweep_strong_scaling(benchmark, report_writer):
         for ranks in rank_counts:
             report = BatchRunner(
                 SweepSpec(SimulationConfig.from_dict(_SWEEP_BASE), _SWEEP_AXES),
-                backend="distributed",
-                ranks=ranks,
-                schedule="makespan_balanced",
+                settings=ExecutionSettings(
+                    backend="distributed", ranks=ranks, schedule="makespan_balanced"
+                ),
             ).run()
             points[ranks] = sweep_execution_point(report.execution)
         return points

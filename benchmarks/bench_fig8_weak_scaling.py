@@ -12,6 +12,7 @@ from repro.analysis import PAPER_SCALARS, format_table
 from repro.api import SimulationConfig
 from repro.batch import BatchRunner, SweepSpec
 from repro.cost import sweep_execution_point
+from repro.exec import ExecutionSettings
 from repro.perf import weak_scaling
 
 
@@ -70,7 +71,10 @@ def test_fig8_sweep_weak_scaling(benchmark, report_writer):
                 {"system.params.bond_length": _BOND_LENGTHS[:ranks]},
             )
             report = BatchRunner(
-                spec, backend="distributed", ranks=ranks, schedule="makespan_balanced"
+                spec,
+                settings=ExecutionSettings(
+                    backend="distributed", ranks=ranks, schedule="makespan_balanced"
+                ),
             ).run()
             points[ranks] = sweep_execution_point(report.execution)
         return points

@@ -1,8 +1,14 @@
-"""Section 6 power comparison: 3072 CPU cores (73 nodes) vs 72 GPUs (12 nodes)."""
+"""Section 6 power comparison: 3072 CPU cores (73 nodes) vs 72 GPUs (12 nodes).
+
+Extended with the paper's closing "improved network bandwidth" what-if: the
+same 72-GPU workload priced on the Frontier-like preset
+(``repro.cost.MACHINES["frontier"]``) next to Summit.
+"""
 
 import pytest
 
 from repro.analysis import CPU_BASELINE_TIME_S, PAPER_SCALARS, format_table
+from repro.cost import MACHINES, MachineCostModel
 from repro.machine import PowerReport, compare_runs, cpu_run_power, gpu_run_power, SUMMIT
 
 
@@ -42,3 +48,36 @@ def test_power_comparison(benchmark, si1536_model, report_writer):
     assert cpu.power_watts == pytest.approx(PAPER_SCALARS["cpu_power_watts"], rel=0.02)
     assert result["power_ratio"] == pytest.approx(1.06, rel=0.1)
     assert result["speedup"] == pytest.approx(7.0, rel=0.2)
+
+
+def test_improved_network_whatif(benchmark, report_writer):
+    """The same 72-GPU PT-CN step on the Frontier-like preset: 8 GPUs/node
+    (fewer, denser nodes) and 4x the injection bandwidth must beat Summit on
+    wall time *and* energy to solution — the paper's closing expectation,
+    stated as a power-comparison row."""
+
+    def run():
+        return {
+            name: MachineCostModel(system=system).silicon_step_estimate(1536, 72)
+            for name, system in sorted(MACHINES.items())
+        }
+
+    estimates = benchmark(run)
+    summit, frontier = estimates["summit"], estimates["frontier"]
+
+    rows = [
+        ["nodes for 72 GPUs", summit.nodes, frontier.nodes],
+        ["node power [W]", summit.power_watts / summit.nodes, frontier.power_watts / frontier.nodes],
+        ["run power [W]", summit.power_watts, frontier.power_watts],
+        ["time per step [s]", summit.seconds, frontier.seconds],
+        ["energy per step [kWh]", summit.energy_kwh, frontier.energy_kwh],
+        ["speedup vs summit", 1.0, summit.seconds / frontier.seconds],
+        ["energy ratio vs summit", 1.0, summit.energy_joules / frontier.energy_joules],
+    ]
+    report_writer(
+        "power_comparison_whatif", format_table(["quantity", "summit", "frontier"], rows)
+    )
+
+    assert frontier.nodes < summit.nodes  # 8 GPUs/node pack denser than 6
+    assert frontier.seconds < summit.seconds
+    assert frontier.energy_joules < summit.energy_joules

@@ -17,7 +17,7 @@ from repro.analysis import format_table
 from repro.api import SimulationConfig
 from repro.batch import BatchRunner, SweepSpec
 from repro.cost import sweep_execution_point
-from repro.exec import Scheduler
+from repro.exec import ExecutionSettings, Scheduler
 
 #: a 4-group x 2-dt sweep on the tiny semi-local H2 system — large enough to
 #: exercise placement on 4 ranks, small enough to run in seconds
@@ -39,7 +39,10 @@ def test_distributed_sweep_dispatch(benchmark, report_writer):
 
     def run():
         return BatchRunner(
-            _spec(), backend="distributed", ranks=4, schedule="makespan_balanced"
+            _spec(),
+            settings=ExecutionSettings(
+                backend="distributed", ranks=4, schedule="makespan_balanced"
+            ),
         ).run()
 
     report = benchmark(run)
@@ -93,8 +96,12 @@ def test_backend_exports_are_identical(benchmark, report_writer):
     def run_all():
         return {
             "serial": BatchRunner(_spec()).run(),
-            "process": BatchRunner(_spec(), backend="process", max_workers=2).run(),
-            "distributed": BatchRunner(_spec(), backend="distributed", ranks=4).run(),
+            "process": BatchRunner(
+                _spec(), settings=ExecutionSettings(backend="process", max_workers=2)
+            ).run(),
+            "distributed": BatchRunner(
+                _spec(), settings=ExecutionSettings(backend="distributed", ranks=4)
+            ).run(),
         }
 
     reports = benchmark(run_all)
@@ -165,15 +172,15 @@ def test_bench_sweep_artifact(benchmark, results_dir, report_writer):
     def run_all():
         rows = []
         for backend, policy, ranks in matrix:
-            kwargs = {"backend": backend, "schedule": policy}
+            settings = {"backend": backend, "schedule": policy}
             if ranks is not None:
-                kwargs["ranks"] = ranks
+                settings["ranks"] = ranks
             workers = 1
             if backend == "process":
                 workers = 2
-                kwargs["max_workers"] = workers
+                settings["max_workers"] = workers
             start = time.perf_counter()
-            report = BatchRunner(_spec(), **kwargs).run()
+            report = BatchRunner(_spec(), settings=ExecutionSettings(**settings)).run()
             elapsed = time.perf_counter() - start
             rows.append(_makespan_row(report, backend, policy, ranks, workers, elapsed))
         return rows

@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.api import Session, SimulationConfig
 from repro.batch import BatchRunner, SweepSpec
+from repro.exec import ExecutionSettings
 from repro.constants import HARTREE_TO_EV
 
 #: the single-run H2 config: weak kick along the bond, hybrid functional
@@ -106,8 +107,13 @@ def sweep(backend: str, ranks: int, schedule: str | None, smoke: bool) -> int:
         SimulationConfig.from_dict(base),
         {"system.params.n_atoms": sizes},
     )
-    runner = BatchRunner(spec, backend=backend, ranks=ranks, schedule=schedule)
-    print(f"Absorption sweep: chains of {sizes} atoms, backend={backend} "
+    runner = BatchRunner(
+        spec,
+        settings=ExecutionSettings.resolve(
+            spec.base, backend=backend, ranks=ranks, schedule=schedule
+        ),
+    )
+    print(f"Absorption sweep: chains of {sizes} atoms, backend={runner.backend} "
           f"(schedule: {runner.schedule})")
     report = runner.run()
 

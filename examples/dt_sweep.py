@@ -12,11 +12,15 @@ the smallest-step run.
 Execution is pluggable (``repro.exec``): ``--backend distributed`` dispatches
 the ground-state groups over simulated MPI ranks and prints the per-rank
 communication volume, ``--schedule`` picks the cost-aware ordering policy.
+With ``--budget SECONDS`` the execution settings are not hand-picked at all:
+the :class:`repro.campaign.CampaignPlanner` inverts the cost model and
+chooses machine/ranks/GPUs/schedule for the stated wall-clock budget.
 
 Usage:
     python examples/dt_sweep.py                          # the full comparison
     python examples/dt_sweep.py --backend distributed --ranks 4 \\
                                 --schedule makespan_balanced
+    python examples/dt_sweep.py --budget 3600            # planner picks the settings
     python examples/dt_sweep.py --smoke                  # CI smoke (serial)
     python examples/dt_sweep.py --smoke --backend distributed --ranks 4
                                                          # CI distributed smoke
@@ -32,6 +36,7 @@ import numpy as np
 
 from repro.api import SimulationConfig
 from repro.batch import BatchRunner, SweepSpec
+from repro.exec import ExecutionSettings
 
 #: the quickstart H2 system driven by a weak laser, swept below
 BASE = {
@@ -65,11 +70,31 @@ WINDOW_AXES = {
 }
 
 
-def main(backend: str, ranks: int, schedule: str | None) -> int:
+def main(backend: str, ranks: int, schedule: str | None, budget: float | None = None) -> int:
     spec = SweepSpec(SimulationConfig.from_dict(BASE), WINDOW_AXES)
-    runner = BatchRunner(spec, backend=backend, ranks=ranks, schedule=schedule)
+    if budget is not None:
+        # inverse mode: state a wall-clock budget, let the campaign planner
+        # choose the machine, rank count, GPUs per group and policy
+        from repro.api import Budget, InfeasibleBudgetError, plan
+
+        try:
+            execution_plan = plan({"dt-sweep": spec}, Budget(max_wall_seconds=budget))
+        except InfeasibleBudgetError as exc:
+            print(f"no plan fits a {budget:g} s budget:\n  {exc}", file=sys.stderr)
+            return 2
+        print(f"Planned for a {budget:g} s wall budget:\n")
+        print(execution_plan.plan_table())
+        runner = BatchRunner.from_plan(execution_plan)
+        backend = runner.backend
+    else:
+        runner = BatchRunner(
+            spec,
+            settings=ExecutionSettings.resolve(
+                spec.base, backend=backend, ranks=ranks, schedule=schedule
+            ),
+        )
     print(f"Sweep: {spec.n_jobs} jobs over axes {spec.axis_paths}")
-    print(f"Backend: {backend} (schedule: {runner.schedule})")
+    print(f"Backend: {runner.backend} (schedule: {runner.schedule})")
     if backend == "serial":
         print(f"Shared ground states to converge: {runner.prepare_ground_states()}")
     print()
@@ -119,18 +144,15 @@ def smoke(backend: str, ranks: int, schedule: str | None) -> int:
     # exercise scheduling and to give every one of 4 simulated ranks a group
     spec = SweepSpec(base, {"basis.ecut": [1.5, 1.7, 2.0, 2.2], "run.time_step_as": [1.0, 2.0]})
     n_jobs = spec.n_jobs
+    settings = ExecutionSettings.resolve(base, backend=backend, ranks=ranks, schedule=schedule)
     with tempfile.TemporaryDirectory() as checkpoint_dir:
-        runner = BatchRunner(
-            spec, checkpoint_dir=checkpoint_dir, backend=backend, ranks=ranks, schedule=schedule
-        )
+        runner = BatchRunner(spec, checkpoint_dir=checkpoint_dir, settings=settings)
         report = runner.run()
         print(report.to_table())
         if [r.status for r in report] != ["completed"] * n_jobs:
             print("smoke FAILED: sweep did not complete", file=sys.stderr)
             return 1
-        resumed = BatchRunner(
-            spec, checkpoint_dir=checkpoint_dir, backend=backend, ranks=ranks, schedule=schedule
-        ).run()
+        resumed = BatchRunner(spec, checkpoint_dir=checkpoint_dir, settings=settings).run()
         if [r.status for r in resumed] != ["cached"] * n_jobs:
             print("smoke FAILED: resume did not load the checkpoints", file=sys.stderr)
             return 1
@@ -168,6 +190,14 @@ if __name__ == "__main__":
         default=None,
         help="scheduling policy (default: the config's run.schedule.policy)",
     )
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        help="wall-clock budget in modeled seconds: the campaign planner picks "
+        "the settings instead of --backend/--ranks/--schedule (full mode only)",
+    )
     args = parser.parse_args()
-    runner_fn = smoke if args.smoke else main
-    sys.exit(runner_fn(args.backend, args.ranks, args.schedule))
+    if args.smoke:
+        sys.exit(smoke(args.backend, args.ranks, args.schedule))
+    sys.exit(main(args.backend, args.ranks, args.schedule, args.budget))

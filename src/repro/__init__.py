@@ -40,6 +40,12 @@ The package is organised in nine layers:
   seconds through GPU throughput, transfer bytes → seconds through
   NVLink/X-Bus/InfiniBand link speeds (:class:`~repro.cost.NodePlacement`),
   occupied nodes → watts and joules.
+* :mod:`repro.campaign` — budget-driven campaigns on top of everything:
+  a :class:`~repro.campaign.CampaignSpec` names sweeps and states a
+  :class:`~repro.campaign.Budget`, a :class:`~repro.campaign.CampaignPlanner`
+  inverts the cost stack to choose machine/ranks/GPUs/schedule, and the
+  resulting :class:`~repro.campaign.ExecutionPlan` executes into a
+  :class:`~repro.campaign.CampaignReport` of predicted-vs-observed costs.
 
 Subpackages are imported lazily: ``import repro`` is cheap, and
 ``repro.api``, ``repro.pw`` etc. materialise on first attribute access.
@@ -54,7 +60,9 @@ from . import constants
 __version__ = "1.1.0"
 
 #: Subpackages resolved lazily via module ``__getattr__`` (PEP 562).
-_SUBPACKAGES = ("pw", "core", "parallel", "machine", "perf", "analysis", "api", "batch", "exec", "cost")
+_SUBPACKAGES = (
+    "pw", "core", "parallel", "machine", "perf", "analysis", "api", "batch", "exec", "cost", "campaign",
+)
 
 __all__ = ["constants", "__version__", *_SUBPACKAGES]
 

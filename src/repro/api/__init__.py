@@ -19,6 +19,23 @@ conveniences:
 New structures, pulses and propagators plug in through the registries
 (:func:`register_structure`, :func:`register_pulse`,
 :func:`register_propagator`) without touching the driver.
+
+Budget-driven *campaigns* get the same one-call treatment through the lazily
+re-exported :mod:`repro.campaign` layer:
+
+.. code-block:: python
+
+    execution_plan = repro.api.plan(
+        {"dt-scan": spec}, budget=repro.api.Budget(max_wall_seconds=3600.0)
+    )
+    report = execution_plan.execute("ckpt")     # or repro.api.run(...) in one go
+
+``plan``/``run``, :class:`~repro.campaign.CampaignSpec`,
+:class:`~repro.campaign.CampaignPlanner`, :class:`~repro.campaign.Budget`,
+:class:`~repro.campaign.ExecutionPlan`, :class:`~repro.campaign.CampaignReport`,
+:class:`~repro.campaign.InfeasibleBudgetError` and the frozen
+:class:`~repro.exec.ExecutionSettings` all resolve on first attribute access
+(PEP 562), keeping ``import repro.api`` cheap and cycle-free.
 """
 
 from .config import (
@@ -45,6 +62,40 @@ from .registry import (
 )
 from .session import Session, compare_propagators, run_tddft
 
+#: names resolved lazily from :mod:`repro.campaign` (PEP 562) — the campaign
+#: layer sits *above* the api/batch/exec stack, so importing it eagerly here
+#: would be circular
+_CAMPAIGN_EXPORTS = (
+    "Budget",
+    "CampaignPlanner",
+    "CampaignReport",
+    "CampaignSpec",
+    "ExecutionPlan",
+    "InfeasibleBudgetError",
+    "plan",
+    "run",
+)
+
+
+def __getattr__(name: str):
+    if name in _CAMPAIGN_EXPORTS:
+        import importlib
+
+        value = getattr(importlib.import_module(".campaign", "repro"), name)
+        globals()[name] = value  # cache: __getattr__ runs once per name
+        return value
+    if name == "ExecutionSettings":
+        from ..exec.settings import ExecutionSettings
+
+        globals()[name] = ExecutionSettings
+        return ExecutionSettings
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))
+
+
 __all__ = [
     "SCHEDULE_POLICIES",
     "BasisConfig",
@@ -67,4 +118,14 @@ __all__ = [
     "Session",
     "compare_propagators",
     "run_tddft",
+    # campaign layer (lazy, PEP 562)
+    "Budget",
+    "CampaignPlanner",
+    "CampaignReport",
+    "CampaignSpec",
+    "ExecutionPlan",
+    "ExecutionSettings",
+    "InfeasibleBudgetError",
+    "plan",
+    "run",
 ]

@@ -145,6 +145,12 @@ class SweepReport:
         :meth:`repro.exec.ExecutionBackend.execution_summary`). Rendered by
         :meth:`execution_table`; **not** part of :meth:`to_dict`, so the
         physics export of a sweep is identical across backends.
+    settings:
+        The :meth:`repro.exec.ExecutionSettings.as_dict` record the sweep ran
+        under (machine preset, schedule policy, backend, ranks). Exported by
+        :meth:`to_dict` so a report on disk says how it was produced —
+        *except* under ``exclude_timings``, which stays pure deterministic
+        physics (bit-identical across backends and settings).
     """
 
     def __init__(
@@ -152,10 +158,12 @@ class SweepReport:
         results: list[JobResult],
         axes: list[str] | None = None,
         execution: dict | None = None,
+        settings: dict | None = None,
     ):
         self.results = sorted(results, key=lambda r: r.index)
         self.axes = list(axes or [])
         self.execution = dict(execution or {})
+        self.settings = dict(settings) if settings is not None else None
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -201,13 +209,19 @@ class SweepReport:
                 trajectory = job.get("trajectory")
                 if isinstance(trajectory, dict):
                     trajectory.pop("wall_time", None)
-        return {
+        data = {
             "axes": list(self.axes),
             "n_jobs": len(self.results),
             "n_completed": len(self.completed),
             "n_failed": len(self.failed),
             "jobs": jobs,
         }
+        if self.settings is not None and not exclude_timings:
+            # how the sweep was produced (machine preset, schedule, backend);
+            # left out of the deterministic physics export, which must stay
+            # bit-identical across backends and settings
+            data["settings"] = copy.deepcopy(self.settings)
+        return data
 
     def to_json(
         self,
@@ -226,6 +240,38 @@ class SweepReport:
         if include_execution:
             data["execution"] = copy.deepcopy(self.execution)
         return json.dumps(data, indent=indent, default=json_default)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepReport":
+        """Rebuild a report from its :meth:`to_dict` / :meth:`to_json` form.
+
+        Restores the per-job results (trajectories included when exported),
+        the axes, and — when present — the execution summary and the
+        :class:`~repro.exec.ExecutionSettings` record the sweep ran under, so
+        an exported report round-trips: ``SweepReport.from_json(r.to_json(
+        include_execution=True)).to_json(include_execution=True)`` is
+        identical to the original.
+        """
+        if not isinstance(data, dict):
+            raise ValueError(f"report data must be a dict, got {type(data).__name__}")
+        try:
+            jobs = data["jobs"]
+        except KeyError:
+            raise ValueError(
+                "report data carries no 'jobs' key; expected the export of "
+                "SweepReport.to_dict()/to_json()"
+            ) from None
+        return cls(
+            [JobResult.from_dict(job) for job in jobs],
+            axes=data.get("axes"),
+            execution=data.get("execution"),
+            settings=data.get("settings"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepReport":
+        """Inverse of :meth:`to_json` (see :meth:`from_dict`)."""
+        return cls.from_dict(json.loads(text))
 
     # ------------------------------------------------------------------
     # Execution placement / communication accounting

@@ -4,6 +4,13 @@
 and aggregates them into a :class:`~repro.batch.SweepReport`. Execution
 policy lives in :mod:`repro.exec`; the runner only wires the pieces:
 
+* **Settings.** Everything about *where and how* the sweep runs — backend,
+  virtual rank count, scheduling policy, machine preset, GPUs per group — is
+  one frozen :class:`~repro.exec.ExecutionSettings` value, resolved from the
+  base config's ``run.schedule`` / ``run.machine`` sections unless an explicit
+  ``settings=`` object (e.g. from a :class:`~repro.campaign.CampaignPlanner`
+  plan) is passed. The legacy ``backend=`` / ``ranks=`` / ``schedule=`` /
+  ``max_workers=`` keywords still work as thin deprecation shims.
 * **Ground-state sharing.** Jobs are grouped by
   :func:`~repro.batch.sweep.ground_state_group_key`; each group runs through
   one caching :class:`~repro.api.Session`, so a {propagator} x {dt} sweep
@@ -13,27 +20,30 @@ policy lives in :mod:`repro.exec`; the runner only wires the pieces:
 * **Scheduling.** A :class:`~repro.exec.Scheduler` orders (and, for the
   distributed backend, packs) the groups by predicted wall seconds / joules —
   :mod:`repro.perf.sweep_cost` workload predictions turned machine-aware by a
-  :class:`repro.cost.MachineCostModel` built from ``run.machine`` — under
+  :class:`repro.cost.MachineCostModel` built from the settings — under
   ``fifo`` (default), ``cheapest_first``, ``makespan_balanced`` or
-  ``energy_aware``, selected via ``run.schedule`` in the base config or the
-  ``schedule=`` argument.
+  ``energy_aware``.
 * **Backends.** ``"serial"`` runs in-process; ``"process"`` dispatches one
   group per worker task to a process pool (falling back to serial with a
   warning naming the original error); ``"distributed"`` places groups onto
-  ``ranks`` virtual ranks of the simulated MPI runtime and logs per-rank
+  virtual ranks of the simulated MPI runtime and logs per-rank
   dispatch/result communication volume into the report's execution summary.
 * **Checkpointing.** With a ``checkpoint_dir``, every completed job is
   persisted via :class:`~repro.batch.CheckpointStore`; a rerun of the same
   sweep loads finished jobs (status ``"cached"``) instead of recomputing
-  them — resume-after-crash is just "run it again".
+  them — resume-after-crash is just "run it again". Settings never touch job
+  identity, so rerunning under different settings reuses every checkpoint.
 
 .. code-block:: python
+
+    from repro.exec import ExecutionSettings
 
     report = BatchRunner(
         SweepSpec(base, {"propagator.name": ["ptcn", "rk4"],
                          "run.time_step_as": [10.0, 50.0]}),
         checkpoint_dir="sweep-ckpt",
-        backend="distributed", ranks=4, schedule="makespan_balanced",
+        settings=ExecutionSettings(backend="distributed", ranks=4,
+                                   schedule="makespan_balanced"),
     ).run()
     print(report.fig6_table())
     print(report.execution_table())
@@ -41,15 +51,15 @@ policy lives in :mod:`repro.exec`; the runner only wires the pieces:
 
 from __future__ import annotations
 
+import warnings
+
 from ..api.session import Session
+from ..exec.settings import BACKEND_NAMES, ExecutionSettings
 from .checkpoint import CheckpointStore
 from .report import SweepReport
-from .sweep import SweepJob, SweepSpec
+from .sweep import SweepJob, SweepSpec, group_jobs
 
-__all__ = ["BatchRunner"]
-
-#: the ``backend=`` names accepted by :class:`BatchRunner`
-BACKEND_NAMES = ("serial", "process", "distributed")
+__all__ = ["BACKEND_NAMES", "BatchRunner"]
 
 
 class BatchRunner:
@@ -59,29 +69,24 @@ class BatchRunner:
     ----------
     spec:
         The :class:`~repro.batch.SweepSpec` to execute.
+    settings:
+        The :class:`~repro.exec.ExecutionSettings` (or its ``as_dict`` form)
+        describing where and how the sweep runs. ``None`` (default) resolves
+        the settings from the base config's ``run.schedule`` / ``run.machine``
+        sections. Mutually exclusive with the deprecated per-field keywords
+        below.
     checkpoint_dir:
         Directory for per-job and shared ground-state checkpoints; ``None``
         disables checkpointing.
-    backend:
-        ``"serial"`` (default), ``"process"`` or ``"distributed"`` — see
-        :mod:`repro.exec`.
-    max_workers:
-        Process-pool size (default: CPU count), capped at the group count.
-        Process backend only.
-    ranks:
-        Number of simulated MPI ranks (default 4). Distributed backend only.
-    schedule:
-        Scheduling policy (see :data:`repro.api.SCHEDULE_POLICIES`); defaults
-        to the base config's ``run.schedule.policy``.
     machine:
-        The :class:`repro.cost.MachineCostModel` predicting wall seconds and
-        joules for the scheduler and the report; defaults to the model the
-        base config's ``run.machine`` section describes. Pass ``None``
+        Expert override: a concrete :class:`repro.cost.MachineCostModel`
+        predicting wall seconds and joules for the scheduler and the report
+        (defaults to the model the settings describe). Pass ``None``
         explicitly to schedule on relative FLOPs only.
     placement:
-        A :class:`repro.cost.NodePlacement` mapping the distributed backend's
-        virtual ranks onto modeled nodes; defaults to a dense placement of
-        ``ranks`` ranks on the machine. Distributed backend only.
+        Expert override: a :class:`repro.cost.NodePlacement` mapping the
+        distributed backend's virtual ranks onto modeled nodes; defaults to a
+        dense placement of ``settings.ranks`` ranks on the settings' machine.
     raise_on_error:
         If ``True``, the first failing job re-raises (completed jobs keep
         their checkpoints, so the sweep is resumable). If ``False`` (default)
@@ -89,56 +94,127 @@ class BatchRunner:
     share_ground_states:
         Persist converged SCFs in the checkpoint store and adopt them on
         resume (default ``True``; no effect without ``checkpoint_dir``).
+    backend, max_workers, ranks, schedule:
+        **Deprecated** — the pre-settings keyword plumbing, kept as thin
+        shims: each non-``None`` value is layered over the config-resolved
+        settings exactly as before, with a :class:`DeprecationWarning`
+        pointing at ``settings=`` / :meth:`from_plan`.
     """
 
-    _DEFAULT_MACHINE = object()  # distinguishes "from the config" from an explicit None
+    _DEFAULT_MACHINE = object()  # distinguishes "from the settings" from an explicit None
 
     def __init__(
         self,
         spec: SweepSpec,
         *,
+        settings: ExecutionSettings | dict | None = None,
         checkpoint_dir=None,
-        backend: str = "serial",
+        backend: str | None = None,
         max_workers: int | None = None,
-        ranks: int = 4,
+        ranks: int | None = None,
         schedule: str | None = None,
         machine=_DEFAULT_MACHINE,
         placement=None,
         raise_on_error: bool = False,
         share_ground_states: bool = True,
     ):
-        from ..cost import MachineCostModel
         from ..exec import Scheduler  # deferred: repro.exec imports repro.batch
 
-        if backend not in BACKEND_NAMES:
-            raise ValueError(
-                f"backend must be one of {list(BACKEND_NAMES)} "
-                f"('serial', 'process' or 'distributed'), got {backend!r}"
+        legacy = {"backend": backend, "ranks": ranks, "schedule": schedule, "max_workers": max_workers}
+        given = sorted(name for name, value in legacy.items() if value is not None)
+        if settings is not None:
+            if given:
+                raise ValueError(
+                    f"pass either settings= or the deprecated keyword(s) {given}, not both"
+                )
+            if isinstance(settings, dict):
+                settings = ExecutionSettings.from_dict(settings)
+        else:
+            if given:
+                warnings.warn(
+                    f"BatchRunner keyword(s) {given} are deprecated; pass "
+                    "settings=repro.exec.ExecutionSettings(...) instead (or build the "
+                    "runner from a campaign plan via BatchRunner.from_plan / "
+                    "repro.api.plan)",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            settings = ExecutionSettings.resolve(
+                spec.base, backend=backend, ranks=ranks, schedule=schedule, max_workers=max_workers
             )
-        if ranks < 1:
-            raise ValueError(f"ranks must be >= 1, got {ranks}")
         self.spec = spec
+        self.settings = settings
         self.checkpoint_dir = checkpoint_dir
-        self.backend = backend
-        self.max_workers = max_workers
-        self.ranks = int(ranks)
-        self.schedule = spec.base.run.schedule_policy if schedule is None else schedule
-        self.machine = (
-            MachineCostModel.from_config(spec.base) if machine is self._DEFAULT_MACHINE else machine
-        )
+        self._machine_overridden = machine is not self._DEFAULT_MACHINE
+        self.machine = settings.machine_model() if not self._machine_overridden else machine
         self.placement = placement
-        self.scheduler = Scheduler(self.schedule, machine=self.machine)  # validates the policy name
+        self.scheduler = Scheduler(settings.schedule, machine=self.machine)
         self.raise_on_error = bool(raise_on_error)
         self.share_ground_states = bool(share_ground_states)
         self._sessions: dict[str, Session] = {}
 
     # ------------------------------------------------------------------
+    @classmethod
+    def from_plan(
+        cls,
+        plan,
+        name: str | None = None,
+        *,
+        checkpoint_dir=None,
+        raise_on_error: bool = False,
+        share_ground_states: bool = True,
+    ) -> "BatchRunner":
+        """The runner executing one sweep of a campaign :class:`~repro.campaign.ExecutionPlan`.
+
+        ``name`` selects the sweep (optional when the plan holds exactly one);
+        the runner gets the plan's chosen :class:`~repro.exec.ExecutionSettings`,
+        so its report records the provenance the planner decided on while the
+        physics export stays bit-identical to a hand-configured run.
+        """
+        names = list(plan.sweep_names)
+        if name is None:
+            if len(names) != 1:
+                raise ValueError(
+                    f"the plan holds {len(names)} sweeps {names}; "
+                    "pass name= to pick the one to run"
+                )
+            name = names[0]
+        return cls(
+            plan.sweep_spec(name),
+            settings=plan.settings,
+            checkpoint_dir=checkpoint_dir,
+            raise_on_error=raise_on_error,
+            share_ground_states=share_ground_states,
+        )
+
+    # ------------------------------------------------------------------
+    # Back-compat views onto the settings
+    # ------------------------------------------------------------------
+    @property
+    def backend(self) -> str:
+        """The settings' backend name."""
+        return self.settings.backend
+
+    @property
+    def ranks(self) -> int:
+        """The settings' virtual rank count (distributed backend)."""
+        return self.settings.ranks
+
+    @property
+    def schedule(self) -> str:
+        """The settings' scheduling policy."""
+        return self.settings.schedule
+
+    @property
+    def max_workers(self) -> int | None:
+        """The settings' process-pool size (process backend)."""
+        return self.settings.max_workers
+
+    # ------------------------------------------------------------------
     def groups(self) -> dict[str, list[SweepJob]]:
-        """Expanded jobs grouped by ground-state key, in expansion order."""
-        grouped: dict[str, list[SweepJob]] = {}
-        for job in self.spec.expand():
-            grouped.setdefault(job.group_key, []).append(job)
-        return grouped
+        """Expanded jobs grouped by ground-state key, in expansion order
+        (see :func:`repro.batch.sweep.group_jobs`)."""
+        return group_jobs(self.spec)
 
     def _ground_state_store(self) -> CheckpointStore | None:
         if self.checkpoint_dir is None or not self.share_ground_states:
@@ -192,11 +268,17 @@ class BatchRunner:
         if self.backend == "process":
             return ProcessPoolBackend(max_workers=self.max_workers, sessions=self._sessions, **common)
         if self.backend == "distributed":
-            from ..cost import NodePlacement
-
             placement = self.placement
-            if placement is None and self.machine is not None:
-                placement = NodePlacement(n_ranks=self.ranks, system=self.machine.system)
+            if placement is None:
+                if self._machine_overridden:
+                    # expert path: a machine model object that has no preset
+                    # name, so the settings cannot describe its placement
+                    if self.machine is not None:
+                        from ..cost import NodePlacement
+
+                        placement = NodePlacement(n_ranks=self.ranks, system=self.machine.system)
+                else:
+                    placement = self.settings.placement()
             return DistributedBackend(ranks=self.ranks, placement=placement, **common)
         return SerialBackend(sessions=self._sessions, **common)
 
@@ -211,4 +293,9 @@ class BatchRunner:
         results = backend.drain()
         execution = backend.execution_summary()
         execution["schedule"] = self.scheduler.policy
-        return SweepReport(results, axes=self.spec.axis_paths, execution=execution)
+        return SweepReport(
+            results,
+            axes=self.spec.axis_paths,
+            execution=execution,
+            settings=self.settings.as_dict(),
+        )

@@ -38,7 +38,7 @@ from dataclasses import dataclass, field
 
 from ..api.config import ConfigError, SimulationConfig
 
-__all__ = ["SweepJob", "SweepSpec", "ground_state_group_key", "config_hash"]
+__all__ = ["SweepJob", "SweepSpec", "ground_state_group_key", "group_jobs", "config_hash"]
 
 #: run-section fields that only affect the propagation (or, for ``schedule``
 #: and ``machine``, only how/where the sweep is modeled to run), never the
@@ -81,6 +81,18 @@ def ground_state_group_key(config: SimulationConfig) -> str:
     for name in _PROPAGATION_ONLY_RUN_FIELDS:
         data["run"].pop(name)
     return json.dumps(data, sort_keys=True, default=str)
+
+
+def group_jobs(spec: "SweepSpec") -> dict:
+    """A spec's expanded jobs grouped by ground-state key, in expansion order.
+
+    The unit of scheduling and dispatch throughout :mod:`repro.exec` and
+    :mod:`repro.campaign`: all jobs of one group share one converged SCF.
+    """
+    grouped: dict[str, list[SweepJob]] = {}
+    for job in spec.expand():
+        grouped.setdefault(job.group_key, []).append(job)
+    return grouped
 
 
 @dataclass(frozen=True)

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..machine.frontier import FRONTIER
 from ..machine.gpu import GPUKernelModel
 from ..machine.network import NetworkModel
 from ..machine.summit import SUMMIT, SummitSystem
@@ -39,8 +40,10 @@ from ..perf.sweep_cost import (
 
 __all__ = ["MACHINES", "CostEstimate", "MachineCostModel", "resolve_machine", "sweep_execution_point"]
 
-#: machine presets selectable via ``run.machine.name`` (Summit is the paper's)
-MACHINES: dict[str, SummitSystem] = {"summit": SUMMIT}
+#: machine presets selectable via ``run.machine.name`` — ``"summit"`` is the
+#: paper's machine, ``"frontier"`` the improved-network what-if of its closing
+#: question (8 GPUs/node, 4x injection bandwidth; :mod:`repro.machine.frontier`)
+MACHINES: dict[str, SummitSystem] = {"summit": SUMMIT, "frontier": FRONTIER}
 
 
 def resolve_machine(name: str) -> SummitSystem:
@@ -108,7 +111,9 @@ class MachineCostModel:
     system:
         The modeled machine (bandwidths, node power, capacity).
     gpu_model:
-        Kernel roofline used for the sustained FLOP throughput.
+        Kernel roofline used for the sustained FLOP throughput; defaults to
+        a :class:`~repro.machine.gpu.GPUKernelModel` built on the modeled
+        system's own accelerator.
     network:
         Collective cost model for the communication terms of the reference
         path.
@@ -129,7 +134,7 @@ class MachineCostModel:
     """
 
     system: SummitSystem = SUMMIT
-    gpu_model: GPUKernelModel = field(default_factory=GPUKernelModel)
+    gpu_model: GPUKernelModel | None = None
     network: NetworkModel | None = None
     gpus_per_group: int = 1
     bcast_overlap_fraction: float = 0.92
@@ -138,6 +143,10 @@ class MachineCostModel:
     def __post_init__(self) -> None:
         if self.gpus_per_group < 1:
             raise ValueError(f"gpus_per_group must be >= 1, got {self.gpus_per_group}")
+        if self.gpu_model is None:
+            # the roofline follows the modeled machine's accelerator, so a
+            # preset with faster GPUs (e.g. "frontier") predicts faster kernels
+            object.__setattr__(self, "gpu_model", GPUKernelModel(gpu=self.system.node.gpu))
         if self.network is None:
             object.__setattr__(self, "network", NetworkModel(self.system))
 

@@ -19,9 +19,14 @@ analogue. It separates *what* a sweep computes (:mod:`repro.batch`) from
   :class:`repro.cost.NodePlacement`.
 
 :class:`~repro.batch.BatchRunner` is the thin orchestrator on top:
-spec → scheduler → backend → report.
+spec → scheduler → backend → report. Everything the runner needs to know
+about *where and how* to run is one frozen, JSON-round-trippable
+:class:`ExecutionSettings` value — the object a
+:class:`~repro.campaign.CampaignPlanner` emits for a machine budget and
+``BatchRunner(spec, settings=...)`` consumes.
 """
 
+from .settings import BACKEND_NAMES, ExecutionSettings  # noqa: I001  (first: no batch deps)
 from .backends import (
     DistributedBackend,
     ExecutionBackend,
@@ -32,6 +37,8 @@ from .backends import (
 from .scheduler import SCHEDULE_POLICIES, ScheduledGroup, Scheduler
 
 __all__ = [
+    "BACKEND_NAMES",
+    "ExecutionSettings",
     "SCHEDULE_POLICIES",
     "ScheduledGroup",
     "Scheduler",

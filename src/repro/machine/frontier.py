@@ -1,0 +1,75 @@
+"""A Frontier-like machine preset: the paper's "improved network" what-if.
+
+The paper closes by expecting that "the parallel performance could scale
+further with improved network bandwidth". This module parameterises that
+question as a concrete second machine built from the same dataclasses as
+:data:`~repro.machine.summit.SUMMIT` — an OLCF-Frontier-like node (the machine
+that succeeded Summit in the same building):
+
+* **8 accelerator endpoints per node** instead of 6 — one MPI rank per
+  MI250X GCD, each with roughly 3x the V100's double-precision peak and
+  HBM2e at 1600 GB/s;
+* **4x the injection bandwidth** — four Slingshot NICs at 25 GB/s against
+  Summit's two EDR InfiniBand NICs at 12.5 GB/s — which is the lever the
+  paper's closing question is about: the per-rank broadcast and allreduce
+  rates scale with it;
+* a single-socket CPU host (64-core EPYC), so every intra-node transfer
+  stays on the coherent GPU fabric (no X-Bus hop).
+
+All numbers are public-spec-sheet scale, rounded the way the Summit preset
+rounds; they parameterise the cost model, they are not measurements. Selecting
+``run.machine.name = "frontier"`` (or letting the
+:class:`~repro.campaign.CampaignPlanner` search over presets) runs the whole
+scheduling / placement / power stack on this machine instead.
+"""
+
+from __future__ import annotations
+
+from .summit import CPUSocketSpec, GPUSpec, NodeSpec, SummitSystem
+
+__all__ = ["FRONTIER", "FRONTIER_NODE"]
+
+#: one MI250X graphics-compute die (the scheduling unit: 1 MPI rank per GCD)
+_FRONTIER_GPU = GPUSpec(
+    name="MI250X-GCD",
+    peak_tflops=23.9,
+    memory_gb=64.0,
+    memory_bandwidth_gbs=1600.0,
+    nvlink_bandwidth_gbs=100.0,  # Infinity Fabric link to the host/peers
+    power_watts=280.0,
+)
+
+#: the single "optimized 3rd Gen EPYC" host socket of a Frontier node
+_FRONTIER_CPU = CPUSocketSpec(
+    name="EPYC-7A53",
+    cores=64,
+    memory_gb=512.0,
+    memory_bandwidth_gbs=205.0,
+    power_watts=225.0,
+    sustained_gflops_per_core=1.13,  # same calibrated plane-wave kernel rate
+)
+
+FRONTIER_NODE = NodeSpec(
+    gpu=_FRONTIER_GPU,
+    cpu_socket=_FRONTIER_CPU,
+    sockets=1,
+    gpus=8,
+    xbus_bandwidth_gbs=144.0,  # unused with one socket; Infinity Fabric scale
+    nics=4,
+    nic_bandwidth_gbs=25.0,
+    mpi_ranks_per_node=8,
+    usable_cpu_cores_per_node=56,
+)
+
+#: The Frontier-like system preset (``repro.cost.MACHINES["frontier"]``).
+#: The collective rates scale Summit's calibrated per-rank numbers by the
+#: injection-bandwidth ratio (100 GB/s vs 25 GB/s per node), which is exactly
+#: the "improved network bandwidth" knob the paper's closing question turns.
+FRONTIER = SummitSystem(
+    node=FRONTIER_NODE,
+    n_nodes=9408,
+    bcast_rank_bandwidth_gbs=8.8,
+    allreduce_rank_bandwidth_gbs=3.4,
+    collective_efficiency=0.5,
+    collective_latency_s=1.0e-3,
+)

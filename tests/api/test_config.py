@@ -243,8 +243,12 @@ def test_unknown_machine_key_lists_valid_keys():
 
 
 def test_unknown_machine_name_lists_presets():
-    with pytest.raises(ConfigError, match="summit"):
-        SimulationConfig.from_dict({"run": {"machine": {"name": "frontier"}}})
+    with pytest.raises(ConfigError, match="frontier.*summit"):
+        SimulationConfig.from_dict({"run": {"machine": {"name": "perlmutter"}}})
+    # both registered presets are valid machine names
+    for name in ("summit", "frontier"):
+        config = SimulationConfig.from_dict({"run": {"machine": {"name": name}}})
+        assert config.run.machine_name == name
 
 
 @pytest.mark.parametrize("gpus", [0, -1, 1.5, True, "six"])

@@ -1,0 +1,51 @@
+"""Fixtures for the campaign-layer tests.
+
+The planner tests never run physics: planning only expands configs and prices
+them through the cost model, so whole hypothesis property suites stay cheap.
+The end-to-end tests (``test_campaign_report``) run the shared tiny
+semi-local H2 config from the top-level ``conftest.py``, like the batch/exec
+suites.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import SimulationConfig
+from repro.batch import SweepSpec
+from repro.campaign import CampaignPlanner, CampaignSpec
+
+#: the top-level ``tiny_config`` fixture's dict, restated for module-scoped
+#: fixtures (the function-scoped fixture cannot back a module-scoped planner)
+TINY_DICT = {
+    "system": {"structure": "hydrogen_molecule", "params": {"box": 8.0, "bond_length": 1.4}},
+    "basis": {"ecut": 2.0},
+    "xc": {"hybrid_mixing": 0.0},
+    "run": {"time_step_as": 1.0, "n_steps": 2, "gs_scf_tolerance": 1e-6},
+}
+
+
+@pytest.fixture()
+def two_sweep_campaign(tiny_config) -> CampaignSpec:
+    """A 2-sweep campaign: 4 cutoff groups (something to pack) + 1 dt group."""
+    return CampaignSpec(
+        {
+            "cutoff": SweepSpec(tiny_config, {"basis.ecut": [1.5, 1.8, 2.0, 2.2]}),
+            "dt": SweepSpec(tiny_config, {"run.time_step_as": [1.0, 2.0]}),
+        }
+    )
+
+
+@pytest.fixture(scope="module")
+def shared_planner() -> CampaignPlanner:
+    """A module-scoped planner over the tiny campaign, for the budget
+    property tests: the candidate grid is priced exactly once and re-planned
+    under many budgets via ``planner.plan(budget)``."""
+    config = SimulationConfig.from_dict(TINY_DICT)
+    spec = CampaignSpec(
+        {
+            "cutoff": SweepSpec(config, {"basis.ecut": [1.5, 1.8, 2.0, 2.2]}),
+            "dt": SweepSpec(config, {"run.time_step_as": [1.0, 2.0]}),
+        }
+    )
+    return CampaignPlanner(spec)

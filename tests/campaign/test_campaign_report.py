@@ -1,0 +1,112 @@
+"""End-to-end campaigns: plan → execute → report, round-trips, resume, and the
+bit-identical-physics acceptance criterion.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.batch import BatchRunner, SweepSpec
+from repro.campaign import Budget, CampaignReport, CampaignSpec, plan, run
+
+
+@pytest.fixture()
+def small_campaign(tiny_config) -> CampaignSpec:
+    """Two tiny sweeps (2 cutoff groups + 1 dt group, 4 jobs total)."""
+    return CampaignSpec(
+        {
+            "cutoff": SweepSpec(tiny_config, {"basis.ecut": [1.5, 2.0]}),
+            "dt": SweepSpec(tiny_config, {"run.time_step_as": [1.0, 2.0]}),
+        },
+        budget=Budget(max_ranks=2),
+    )
+
+
+class TestExecution:
+    def test_plan_execute_report_lifecycle(self, small_campaign):
+        execution_plan = plan(small_campaign)
+        report = execution_plan.execute()
+        assert report.sweep_names == ["cutoff", "dt"]
+        assert report.n_jobs == 4
+        assert report.ok and report.n_failed == 0
+        for name in report.sweep_names:
+            assert [r.status for r in report[name]] == ["completed"] * 2
+            # every sweep report records the planner-chosen settings
+            assert report[name].settings == execution_plan.settings.as_dict()
+        table = report.plan_table()
+        assert "cutoff" in table and "predicted wall [s]" in table
+        with pytest.raises(KeyError, match="unknown sweep"):
+            report["nope"]
+
+    def test_physics_bit_identical_to_hand_configured_runner(self, small_campaign):
+        """Acceptance: planner-driven execution exports exactly the physics a
+        hand-configured BatchRunner produces for the same sweeps."""
+        report = plan(small_campaign).execute()
+        for name, spec in small_campaign.sweeps.items():
+            hand = BatchRunner(spec).run()
+            assert report[name].to_json(exclude_timings=True) == hand.to_json(exclude_timings=True)
+            for planned, manual in zip(report[name], hand):
+                assert planned.job_id == manual.job_id
+                np.testing.assert_array_equal(
+                    planned.trajectory.energies, manual.trajectory.energies
+                )
+
+    def test_run_facade_plans_and_executes(self, small_campaign):
+        report = run(small_campaign)
+        assert report.ok
+        assert report.settings["ranks"] <= 2  # the campaign's own budget applied
+
+    def test_campaign_checkpoints_resume_per_sweep(self, small_campaign, tmp_path, count_scf_solves):
+        execution_plan = plan(small_campaign)
+        execution_plan.execute(tmp_path)
+        first_scfs = len(count_scf_solves)
+        assert first_scfs == 3  # 2 cutoff groups + 1 dt group
+        assert (tmp_path / "cutoff").is_dir() and (tmp_path / "dt").is_dir()
+
+        resumed = execution_plan.execute(tmp_path)
+        assert len(count_scf_solves) == first_scfs  # zero new SCFs
+        for name in resumed.sweep_names:
+            assert [r.status for r in resumed[name]] == ["cached"] * 2
+
+    def test_from_plan_builds_the_equivalent_runner(self, small_campaign, tiny_config):
+        execution_plan = plan(small_campaign)
+        runner = BatchRunner.from_plan(execution_plan, "cutoff")
+        assert runner.settings == execution_plan.settings
+        with pytest.raises(ValueError, match="pass name="):
+            BatchRunner.from_plan(execution_plan)  # two sweeps: ambiguous
+        single = plan(SweepSpec(tiny_config, {"run.time_step_as": [1.0]}))
+        assert BatchRunner.from_plan(single).spec.n_jobs == 1
+
+
+class TestRoundTrips:
+    def test_campaign_report_round_trips_through_json(self, small_campaign):
+        report = plan(small_campaign).execute()
+        rebuilt = CampaignReport.from_json(report.to_json())
+        assert rebuilt.to_json() == report.to_json()
+        assert rebuilt.sweep_names == report.sweep_names
+        assert rebuilt.settings == report.settings
+        for name in report.sweep_names:
+            assert rebuilt.observed_wall_seconds(name) == report.observed_wall_seconds(name)
+
+    def test_sweep_report_round_trips_with_settings_and_execution(self, small_campaign):
+        report = plan(small_campaign).execute()["cutoff"]
+        text = report.to_json(include_execution=True)
+        rebuilt = type(report).from_json(text)
+        assert rebuilt.to_json(include_execution=True) == text
+        assert rebuilt.settings == report.settings
+        assert rebuilt.execution == report.execution
+        # and the deterministic export stays settings-free either way
+        assert "settings" not in json.loads(rebuilt.to_json(exclude_timings=True))
+
+    def test_loaders_reject_wrong_shapes(self):
+        from repro.batch import SweepReport
+
+        with pytest.raises(ValueError, match="jobs"):
+            SweepReport.from_dict({"axes": []})
+        with pytest.raises(ValueError, match="dict"):
+            SweepReport.from_dict([1, 2])
+        with pytest.raises(ValueError, match="sweeps"):
+            CampaignReport.from_dict({"plan": {}})
+        with pytest.raises(ValueError, match="ExecutionPlan"):
+            CampaignReport("not-a-plan", {})

@@ -196,9 +196,12 @@ class TestEstimates:
             MachineCostModel(gpus_per_group=0)
 
     def test_unknown_machine_lists_the_presets(self):
-        with pytest.raises(ValueError, match="summit"):
-            resolve_machine("frontier")
+        with pytest.raises(ValueError, match="frontier.*summit"):
+            resolve_machine("perlmutter")
         assert resolve_machine("summit") is SUMMIT
+        from repro.machine import FRONTIER
+
+        assert resolve_machine("frontier") is FRONTIER
 
     def test_oversubscribed_machine_rejected(self):
         small = MachineCostModel(system=SummitSystem(n_nodes=1))
