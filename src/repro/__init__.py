@@ -1,7 +1,7 @@
 """repro — reproduction of "Parallel Transport Time-Dependent Density Functional
 Theory Calculations with Hybrid Functional on Summit" (Jia, Wang, Lin; SC 2019).
 
-The package is organised in nine layers:
+The package is organised in layers:
 
 * :mod:`repro.pw` — a from-scratch plane-wave DFT/TDDFT engine (the PWDFT
   analogue): grids, pseudopotentials, Hartree/XC, screened Fock exchange,
@@ -46,6 +46,12 @@ The package is organised in nine layers:
   inverts the cost stack to choose machine/ranks/GPUs/schedule, and the
   resulting :class:`~repro.campaign.ExecutionPlan` executes into a
   :class:`~repro.campaign.CampaignReport` of predicted-vs-observed costs.
+* :mod:`repro.service` — the always-on, multi-tenant shape of the campaign
+  layer: an asyncio :class:`~repro.service.CampaignService` admits many
+  budgeted campaigns concurrently over a shared
+  :class:`~repro.service.NodePool` (leased nodes, priorities, preemption at
+  checkpointed group boundaries), streaming each one through a
+  :class:`~repro.service.CampaignHandle`.
 
 Subpackages are imported lazily: ``import repro`` is cheap, and
 ``repro.api``, ``repro.pw`` etc. materialise on first attribute access.
@@ -62,6 +68,7 @@ __version__ = "1.1.0"
 #: Subpackages resolved lazily via module ``__getattr__`` (PEP 562).
 _SUBPACKAGES = (
     "pw", "core", "parallel", "machine", "perf", "analysis", "api", "batch", "exec", "cost", "campaign",
+    "service",
 )
 
 __all__ = ["constants", "__version__", *_SUBPACKAGES]

@@ -80,12 +80,15 @@ def run(
     checkpoint_dir=None,
     raise_on_error: bool = False,
     share_ground_states: bool = True,
+    on_sweep_complete=None,
     **planner_options,
 ) -> CampaignReport:
     """Plan and execute a campaign in one call; returns the
-    :class:`CampaignReport` (see :func:`plan` for the arguments)."""
+    :class:`CampaignReport` (see :func:`plan` for the arguments;
+    ``on_sweep_complete(name, report)`` is called after each sweep)."""
     return plan(sweeps, budget, **planner_options).execute(
         checkpoint_dir,
         raise_on_error=raise_on_error,
         share_ground_states=share_ground_states,
+        on_sweep_complete=on_sweep_complete,
     )

@@ -29,14 +29,12 @@ binding constraint and the cheapest relaxation that would unblock it.
 
 from __future__ import annotations
 
+import asyncio
 import copy
-import os
-import time
 from dataclasses import dataclass
 
 import numpy as np
 
-from ..batch.runner import BatchRunner
 from ..batch.sweep import group_jobs
 from ..cost.model import MACHINES, resolve_machine
 from ..exec.settings import ExecutionSettings
@@ -96,10 +94,11 @@ class ExecutionPlan:
 
     Produced by :meth:`CampaignPlanner.plan`; holds the chosen
     :class:`~repro.exec.ExecutionSettings`, the per-sweep predictions, and the
-    budget it was planned against. :meth:`execute` drives a
-    :class:`~repro.batch.BatchRunner` per sweep (in campaign order) and
-    returns a :class:`~repro.campaign.CampaignReport` comparing predictions
-    with what actually happened.
+    budget it was planned against. :meth:`execute` submits the plan as the
+    sole tenant of a private :class:`~repro.service.CampaignService` (sweeps
+    in campaign order, blocking until done) and returns a
+    :class:`~repro.campaign.CampaignReport` comparing predictions with what
+    actually happened.
     """
 
     def __init__(
@@ -156,34 +155,56 @@ class ExecutionPlan:
         *,
         raise_on_error: bool = False,
         share_ground_states: bool = True,
+        on_sweep_complete=None,
     ):
-        """Run every planned sweep through a :class:`~repro.batch.BatchRunner`
-        built from this plan's settings; returns the aggregated
-        :class:`~repro.campaign.CampaignReport`.
+        """Run every planned sweep (in campaign order, blocking) and return
+        the aggregated :class:`~repro.campaign.CampaignReport`.
+
+        A thin synchronous shim over :class:`repro.service.CampaignService`:
+        the plan is submitted as the sole tenant of a private service whose
+        :class:`~repro.service.NodePool` spans the whole planned machine, so
+        single-campaign execution and service execution are one code path
+        (and bit-identical in their physics exports).
 
         ``checkpoint_dir`` gets one subdirectory per sweep name, so campaigns
         are resumable exactly like single sweeps: re-executing a crashed plan
         loads every finished job and every converged SCF from disk.
-        """
-        from .report import CampaignReport  # deferred: report imports this module
+        ``on_sweep_complete(name, report)``, when given, is called after each
+        sweep finishes — mid-campaign feedback without the service API. With
+        ``raise_on_error`` the raised exception carries a ``partial_report``
+        attribute (the :class:`~repro.campaign.CampaignReport` of the sweeps
+        that did finish, per-sweep elapsed timings included).
 
-        reports = {}
-        elapsed = {}
-        for name in self.sweep_names:
-            sweep_dir = None
-            if checkpoint_dir is not None:
-                sweep_dir = os.path.join(os.fspath(checkpoint_dir), name)
-            runner = BatchRunner(
-                self.sweep_spec(name),
-                settings=self.settings,
-                checkpoint_dir=sweep_dir,
+        Must be called without a running event loop (it blocks); from async
+        code, submit the plan to a :class:`repro.service.CampaignService`
+        instead.
+        """
+        try:
+            asyncio.get_running_loop()
+        except RuntimeError:
+            pass
+        else:
+            raise RuntimeError(
+                "ExecutionPlan.execute() blocks and cannot run inside an event "
+                "loop; submit the plan to a repro.service.CampaignService and "
+                "await handle.report() instead"
+            )
+        from ..service import CampaignService, NodePool  # deferred: service imports campaign
+
+        async def _run():
+            pool = NodePool(self.settings.machine or "summit")
+            service = CampaignService(pool)
+            handle = service.submit(
+                self,
+                name="campaign",
+                checkpoint_dir=checkpoint_dir,
                 raise_on_error=raise_on_error,
                 share_ground_states=share_ground_states,
+                on_sweep_complete=on_sweep_complete,
             )
-            start = time.perf_counter()
-            reports[name] = runner.run()
-            elapsed[name] = time.perf_counter() - start
-        return CampaignReport(self.as_dict(), reports, elapsed_seconds=elapsed)
+            return await handle.report()
+
+        return asyncio.run(_run())
 
     # ------------------------------------------------------------------
     def as_dict(self) -> dict:

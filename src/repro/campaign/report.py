@@ -95,6 +95,27 @@ class CampaignReport:
         """Whether every job of every sweep produced a usable trajectory."""
         return self.n_failed == 0
 
+    # ------------------------------------------------------------------
+    # Partial / in-flight views (service handles build these mid-campaign)
+    # ------------------------------------------------------------------
+    @property
+    def planned_sweeps(self) -> list[str]:
+        """Every sweep the plan named, in plan order (reported or not)."""
+        return list(self.plan.get("sweeps", {}))
+
+    @property
+    def pending_sweeps(self) -> list[str]:
+        """Planned sweeps with no report yet — non-empty for the partial
+        reports a :class:`repro.service.CampaignHandle` (or the
+        ``partial_report`` attribute of a failed ``execute``) exposes
+        mid-campaign."""
+        return [name for name in self.planned_sweeps if name not in self.reports]
+
+    @property
+    def complete(self) -> bool:
+        """Whether every planned sweep has reported."""
+        return not self.pending_sweeps
+
     def observed_wall_seconds(self, name: str) -> float:
         """One sweep's observed makespan (see module docstring for the rule)."""
         return _observed_wall_seconds(self[name])
@@ -128,6 +149,19 @@ class CampaignReport:
                     prediction.get("predicted_energy_joules", "-"),
                 ]
             )
+        for name in self.pending_sweeps:
+            # in-flight campaigns: render unreported sweeps prediction-only
+            prediction = planned.get(name, {})
+            rows.append(
+                [
+                    name,
+                    prediction.get("n_jobs", "-"),
+                    "-",
+                    prediction.get("predicted_wall_seconds", "-"),
+                    "-",
+                    prediction.get("predicted_energy_joules", "-"),
+                ]
+            )
         settings = self.settings
         footer = (
             f"machine={settings.get('machine', '?')} backend={settings.get('backend', '?')} "
@@ -136,6 +170,11 @@ class CampaignReport:
             f"campaign predicted wall = {self.plan.get('predicted_wall_seconds', float('nan')):.3g} s, "
             f"energy = {self.plan.get('predicted_energy_joules', float('nan')):.3g} J"
         )
+        if not self.complete:
+            footer += (
+                f" | partial: {len(self.reports)} of {len(self.planned_sweeps)} "
+                "sweeps reported"
+            )
         return f"{format_table(headers, rows)}\n{footer}"
 
     # ------------------------------------------------------------------

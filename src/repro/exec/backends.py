@@ -182,6 +182,10 @@ class ExecutionBackend(ABC):
         self.raise_on_error = bool(raise_on_error)
         self.share_ground_states = bool(share_ground_states)
         self.groups: list[ScheduledGroup] = []
+        self._drained_groups = 0
+        self._drained_jobs = 0
+        self._done = False
+        self._cancelled = False
 
     # ------------------------------------------------------------------
     def submit_group(self, group: ScheduledGroup) -> None:
@@ -191,6 +195,42 @@ class ExecutionBackend(ABC):
     @abstractmethod
     def drain(self) -> list[JobResult]:
         """Run every submitted group and return all job results."""
+
+    # ------------------------------------------------------------------
+    # Non-blocking observation: poll/cancel beside drain
+    # ------------------------------------------------------------------
+    def _record_group_drained(self, group: ScheduledGroup) -> None:
+        """Bookkeeping every drain loop calls once per completed group."""
+        self._drained_groups += 1
+        self._drained_jobs += group.n_jobs
+
+    def poll(self) -> dict:
+        """Non-blocking progress snapshot of the drain, JSON-serializable.
+
+        Meaningful mid-drain when the backend is driven from another thread
+        or between a service's group boundaries; before ``drain`` it reports
+        zero progress, after it ``done`` is ``True``.
+        """
+        return {
+            "backend": self.name,
+            "n_groups": len(self.groups),
+            "n_jobs": sum(g.n_jobs for g in self.groups),
+            "groups_done": self._drained_groups,
+            "jobs_done": self._drained_jobs,
+            "cancelled": self._cancelled,
+            "done": self._done,
+        }
+
+    def cancel(self) -> int:
+        """Ask the drain to stop at the next group boundary.
+
+        Groups already executed keep their results (and checkpoints — a
+        cancelled sweep resumes like a crashed one); returns the number of
+        submitted groups that had not finished when cancellation was
+        requested.
+        """
+        self._cancelled = True
+        return max(0, len(self.groups) - self._drained_groups)
 
     # ------------------------------------------------------------------
     def execution_summary(self) -> dict:
@@ -242,6 +282,8 @@ class SerialBackend(ExecutionBackend):
     def drain(self) -> list[JobResult]:
         results: list[JobResult] = []
         for group in self.groups:
+            if self._cancelled:
+                break
             results.extend(
                 execute_group(
                     group.jobs,
@@ -251,6 +293,8 @@ class SerialBackend(ExecutionBackend):
                     share_ground_states=self.share_ground_states,
                 )
             )
+            self._record_group_drained(group)
+        self._done = True
         return results
 
 
@@ -277,6 +321,7 @@ class ProcessPoolBackend(ExecutionBackend):
         self.max_workers = max_workers
         self.sessions = {} if sessions is None else sessions
         self.used_fallback = False
+        self._fallback: SerialBackend | None = None
 
     def _drain_serially(self) -> list[JobResult]:
         fallback = SerialBackend(
@@ -285,9 +330,22 @@ class ProcessPoolBackend(ExecutionBackend):
             share_ground_states=self.share_ground_states,
             sessions=self.sessions,
         )
+        fallback._cancelled = self._cancelled
+        self._fallback = fallback
         for group in self.groups:
             fallback.submit_group(group)
-        return fallback.drain()
+        try:
+            return fallback.drain()
+        finally:
+            self._drained_groups = fallback._drained_groups
+            self._drained_jobs = fallback._drained_jobs
+            self._done = fallback._done
+
+    def cancel(self) -> int:
+        pending = super().cancel()
+        if self._fallback is not None:
+            self._fallback.cancel()
+        return pending
 
     def drain(self) -> list[JobResult]:
         if len(self.groups) <= 1:
@@ -304,15 +362,25 @@ class ProcessPoolBackend(ExecutionBackend):
             return self._drain_serially()
         results: list[JobResult] = []
         with executor:
-            futures = [
-                executor.submit(
-                    _run_group_worker,
-                    (group.jobs, self.checkpoint_dir, self.raise_on_error, self.share_ground_states),
+            futures = []
+            for group in self.groups:
+                if self._cancelled:
+                    break
+                futures.append(
+                    (
+                        group,
+                        executor.submit(
+                            _run_group_worker,
+                            (group.jobs, self.checkpoint_dir, self.raise_on_error, self.share_ground_states),
+                        ),
+                    )
                 )
-                for group in self.groups
-            ]
-            for future in futures:
+            for group, future in futures:
+                if self._cancelled and future.cancel():
+                    continue  # never started; its jobs simply don't report
                 results.extend(JobResult.from_dict(d) for d in future.result())
+                self._record_group_drained(group)
+        self._done = True
         return results
 
     def execution_summary(self) -> dict:
@@ -419,6 +487,8 @@ class DistributedBackend(ExecutionBackend):
     def drain(self) -> list[JobResult]:
         results: list[JobResult] = []
         for position, group in enumerate(self.groups):
+            if self._cancelled:
+                break
             rank = self._assigned_rank(group, position)
             group.rank = rank
             stats = self.rank_stats[rank]
@@ -462,6 +532,8 @@ class DistributedBackend(ExecutionBackend):
 
             decoded = json.loads(bytes(bytearray(received)).decode())
             results.extend(JobResult.from_dict(d) for d in decoded)
+            self._record_group_drained(group)
+        self._done = True
         return results
 
     def execution_summary(self) -> dict:

@@ -1,0 +1,205 @@
+"""Running one planned sweep under leases from a shared :class:`NodePool`.
+
+:func:`run_sweep` is the service-side counterpart of
+:meth:`repro.batch.BatchRunner.run`: the same schedule → pack → execute
+pipeline (literally the same :class:`~repro.exec.Scheduler` and
+:func:`~repro.exec.execute_group`, so the physics export stays bit-identical),
+but split at every ground-state group boundary by an ``await`` — which is
+where co-scheduling, preemption and cancellation all happen:
+
+* before each group the coroutine yields, letting other campaigns' sweeps
+  interleave on the same event loop;
+* at each yield it checks the current lease's
+  :attr:`~repro.service.Lease.preempt_requested` flag; when set, the segment
+  executed so far is released (its *modeled* duration charged to the pool's
+  calendar), the sweep re-queues at its priority, and — because every group
+  is checkpointed — resumes without redoing any finished work;
+* at least one group runs per lease, so mutual preemption can never livelock.
+
+Modeled time is strictly accounting: groups really run in-process, one after
+another, deterministic; their predicted seconds (the same numbers the
+:class:`~repro.campaign.CampaignPlanner` forecast) drive the pool calendar,
+so an un-preempted sweep occupies the pool for exactly its planned wall and
+the co-scheduled makespan of a set of campaigns is a prediction comparable
+against the serial sum of their plans.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..batch.report import SweepReport
+from ..batch.sweep import SweepSpec, group_jobs
+from ..exec.backends import execute_group
+from ..exec.settings import ExecutionSettings
+from .pool import Lease, NodePool
+
+__all__ = ["SweepOutcome", "run_sweep"]
+
+
+def _finite(value) -> float | None:
+    """NaN (the scheduler's cost-model-failure sentinel) → JSON null."""
+    return float(value) if np.isfinite(value) else None
+
+
+def _segment_seconds(segment, n_ranks: int) -> float:
+    """Modeled duration of a lease's executed groups: the busiest virtual
+    rank's total predicted seconds under the scheduler's packing — for a full
+    un-preempted sweep this is exactly the planner's predicted wall."""
+    loads: dict[int, float] = {}
+    for group in segment:
+        rank = group.rank if group.rank is not None and 0 <= group.rank < n_ranks else 0
+        seconds = group.predicted_seconds
+        loads[rank] = loads.get(rank, 0.0) + (
+            float(seconds) if np.isfinite(seconds) else group.weight
+        )
+    return max(loads.values(), default=0.0)
+
+
+@dataclass
+class SweepOutcome:
+    """What :func:`run_sweep` returns: the report plus the pool accounting.
+
+    Attributes
+    ----------
+    report:
+        The :class:`~repro.batch.SweepReport` — physics bit-identical to a
+        :class:`~repro.batch.BatchRunner` run of the same spec.
+    modeled_start, modeled_end:
+        The sweep's span on the pool calendar (first lease start, last lease
+        end).
+    leases:
+        Every lease the sweep held, in order (more than one ⇔ preempted).
+    preemptions:
+        How many times the sweep yielded its nodes to higher-priority work.
+    """
+
+    report: SweepReport
+    modeled_start: float
+    modeled_end: float
+    leases: list[Lease] = field(default_factory=list)
+    preemptions: int = 0
+
+
+async def run_sweep(
+    spec: SweepSpec,
+    settings: ExecutionSettings,
+    pool: NodePool,
+    *,
+    tenant: str = "campaign",
+    name: str = "sweep",
+    priority: int = 0,
+    arrival: float | None = None,
+    checkpoint_dir=None,
+    raise_on_error: bool = False,
+    share_ground_states: bool = True,
+    progress=None,
+) -> SweepOutcome:
+    """Execute one sweep under leases from ``pool``; see the module docstring.
+
+    ``arrival`` is the modeled time the sweep becomes eligible (a campaign
+    chains its sweeps by passing each one the previous outcome's
+    ``modeled_end``, so sweeps of one campaign still serialise — exactly the
+    additive wall the planner predicted). ``progress``, when given, is a
+    :class:`~repro.service.SweepProgress` updated in place at every group
+    boundary, which is what makes :meth:`CampaignHandle.progress` live.
+    """
+    scheduler = settings.scheduler()
+    scheduled = scheduler.schedule(group_jobs(spec))
+    scheduler.pack(scheduled, settings.ranks)
+    # the slice size the *pricing* actually used (per-config overrides win in
+    # the cost model), mirroring CampaignPlanner._occupied_nodes
+    priced_gpus = max((g.n_gpus for g in scheduled), default=settings.gpus_per_group)
+
+    results = []
+    leases: list[Lease] = []
+    preemptions = 0
+    cursor = pool.start_time if arrival is None else float(arrival)
+    remaining = list(scheduled)
+    while remaining:
+        if progress is not None:
+            progress.state = "waiting"
+        lease = await pool.acquire(
+            settings.ranks,
+            priced_gpus,
+            priority=priority,
+            arrival=cursor,
+            tenant=tenant,
+            sweep=name,
+        )
+        if progress is not None:
+            progress.state = "running"
+        segment = []
+        try:
+            while remaining:
+                await asyncio.sleep(0)  # group boundary: let other sweeps interleave
+                if segment and lease.preempt_requested:
+                    break  # yield the nodes; ≥1 group per lease prevents livelock
+                group = remaining.pop(0)
+                results.extend(
+                    execute_group(
+                        group.jobs,
+                        checkpoint_dir,
+                        raise_on_error,
+                        share_ground_states=share_ground_states,
+                    )
+                )
+                segment.append(group)
+                if progress is not None:
+                    progress.groups_done += 1
+                    progress.jobs_done += group.n_jobs
+        finally:
+            pool.release(lease, _segment_seconds(segment, settings.ranks))
+            leases.append(lease)
+        cursor = lease.end
+        if remaining:
+            preemptions += 1
+            if progress is not None:
+                progress.state = "preempted"
+                progress.preemptions = preemptions
+
+    modeled_start = leases[0].start if leases else cursor
+    modeled_end = leases[-1].end if leases else cursor
+    if progress is not None:
+        progress.state = "done"
+        progress.modeled_start = modeled_start
+        progress.modeled_end = modeled_end
+    execution = {
+        "backend": "service",
+        "schedule": scheduler.policy,
+        "n_groups": len(scheduled),
+        "n_jobs": sum(g.n_jobs for g in scheduled),
+        "groups": [
+            {
+                "index": g.index,
+                "n_jobs": g.n_jobs,
+                "predicted_cost": _finite(g.predicted_cost),
+                "predicted_seconds": _finite(g.predicted_seconds),
+                "predicted_energy_j": _finite(g.predicted_energy_j),
+                "n_gpus": g.n_gpus,
+                "rank": g.rank,
+            }
+            for g in scheduled
+        ],
+        "pool": {"machine": pool.machine, "n_nodes": pool.n_nodes},
+        "leases": [lease.as_dict() for lease in leases],
+        "preemptions": preemptions,
+        "modeled_start": modeled_start,
+        "modeled_end": modeled_end,
+    }
+    report = SweepReport(
+        results,
+        axes=spec.axis_paths,
+        execution=execution,
+        settings=settings.as_dict(),
+    )
+    return SweepOutcome(
+        report=report,
+        modeled_start=modeled_start,
+        modeled_end=modeled_end,
+        leases=leases,
+        preemptions=preemptions,
+    )

@@ -1,0 +1,206 @@
+"""The multi-tenant campaign service: submit many budgeted campaigns, share
+one modeled cluster.
+
+:class:`CampaignService` is the always-on shape of the campaign layer —
+ROADMAP's "millions of users" step. Every submission is *admitted* through
+the :class:`~repro.campaign.CampaignPlanner` before anything runs: a campaign
+whose budget cannot be met (on the service's pool — the pool's node count
+caps ``max_nodes``) is rejected synchronously with the planner's own
+:class:`~repro.campaign.InfeasibleBudgetError`, naming the binding constraint.
+Admitted campaigns run concurrently as :mod:`asyncio` tasks; their sweeps
+lease disjoint nodes from the shared :class:`~repro.service.NodePool`, so
+independent campaigns co-schedule side by side and the pool's modeled
+makespan beats the serial sum of their plans whenever capacity allows.
+Priorities are enforced by the pool: a higher-priority arrival reclaims
+leases at group boundaries, and the preempted sweeps resume from their
+checkpoints.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import os
+import time
+
+from ..campaign.planner import CampaignPlanner, ExecutionPlan
+from ..campaign.report import CampaignReport
+from ..campaign.spec import Budget, CampaignSpec, InfeasibleBudgetError
+from .handle import CampaignHandle
+from .pool import NodePool
+from .runner import run_sweep
+
+__all__ = ["CampaignService"]
+
+
+class CampaignService:
+    """Admit, schedule and run many campaigns over one shared node pool.
+
+    Parameters
+    ----------
+    pool:
+        The shared :class:`~repro.service.NodePool` (default: a whole modeled
+        Summit).
+    checkpoint_dir:
+        Service-level checkpoint root; each campaign gets a subdirectory
+        named after it (its sweeps one more level down), so preempted or
+        crashed campaigns resume like any sweep. A per-submission
+        ``checkpoint_dir`` overrides this and is used as-is.
+    """
+
+    def __init__(self, pool: NodePool | None = None, *, checkpoint_dir=None):
+        self.pool = NodePool() if pool is None else pool
+        self.checkpoint_dir = checkpoint_dir
+        self.handles: list[CampaignHandle] = []
+        self._names = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def _admit(self, campaign, budget, planner_options) -> ExecutionPlan:
+        """Turn any accepted campaign form into an admitted ExecutionPlan,
+        rejecting infeasible ones before a single group runs."""
+        if isinstance(campaign, ExecutionPlan):
+            if budget is not None or planner_options:
+                raise ValueError(
+                    "the campaign is already planned; submit the raw CampaignSpec "
+                    "to re-plan it under a different budget or planner options"
+                )
+            machine = campaign.settings.machine
+            if machine is not None and machine != self.pool.machine:
+                raise ValueError(
+                    f"the plan targets machine {machine!r} but this service's pool "
+                    f"models {self.pool.machine!r}; re-plan with "
+                    f"machines=[{self.pool.machine!r}] or submit to a matching service"
+                )
+            if campaign.predicted_nodes > self.pool.n_nodes:
+                raise InfeasibleBudgetError(
+                    f"the plan occupies {campaign.predicted_nodes} node(s) but the "
+                    f"service's pool holds only {self.pool.n_nodes}; re-plan under "
+                    f"Budget(max_nodes={self.pool.n_nodes}) or grow the pool",
+                    binding="max_nodes",
+                    limit=self.pool.n_nodes,
+                    required=campaign.predicted_nodes,
+                )
+            return campaign
+        if isinstance(campaign, CampaignSpec):
+            spec = campaign if budget is None else campaign.with_budget(budget)
+        else:
+            # a single SweepSpec or a name -> SweepSpec mapping
+            spec = CampaignSpec(campaign, budget=budget)
+        # plan *for this pool*: search only its machine, and never admit a
+        # plan occupying more nodes than the pool can lease out
+        planner_options.setdefault("machines", [self.pool.machine])
+        capped = spec.budget
+        if capped.max_nodes is None or capped.max_nodes > self.pool.n_nodes:
+            capped = capped.replace(max_nodes=self.pool.n_nodes)
+        return CampaignPlanner(spec, **planner_options).plan(capped)
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        campaign,
+        budget: Budget | dict | None = None,
+        *,
+        priority: int = 0,
+        name: str | None = None,
+        checkpoint_dir=None,
+        raise_on_error: bool = False,
+        share_ground_states: bool = True,
+        on_sweep_complete=None,
+        **planner_options,
+    ) -> CampaignHandle:
+        """Admit a campaign and start it; returns its handle immediately.
+
+        ``campaign`` is an :class:`~repro.campaign.ExecutionPlan` (already
+        planned — submitted as-is after a pool-compatibility check), a
+        :class:`~repro.campaign.CampaignSpec`, a single
+        :class:`~repro.batch.SweepSpec`, or a name → spec mapping; the last
+        three are planned here, against this pool, under ``budget`` (extra
+        keywords parameterise the planner search like
+        :func:`repro.campaign.plan`). Infeasible campaigns raise
+        :class:`~repro.campaign.InfeasibleBudgetError` *synchronously* —
+        nothing is enqueued.
+
+        ``priority`` orders lease grants (higher first) and arms preemption:
+        a submission outranking running work reclaims nodes at the next group
+        boundary. ``on_sweep_complete(name, report)`` is called after each
+        sweep finishes, like the :meth:`~repro.campaign.ExecutionPlan.execute`
+        callback. Must be called from a running event loop (the campaign runs
+        as a task on it).
+        """
+        loop = asyncio.get_running_loop()  # raises RuntimeError outside a loop
+        plan = self._admit(campaign, budget, planner_options)
+        if name is None:
+            name = f"campaign-{next(self._names)}"
+        if checkpoint_dir is None and self.checkpoint_dir is not None:
+            checkpoint_dir = os.path.join(os.fspath(self.checkpoint_dir), name)
+        handle = CampaignHandle(name, plan, priority=priority)
+        handle._task = loop.create_task(
+            self._run_campaign(
+                handle,
+                checkpoint_dir=checkpoint_dir,
+                raise_on_error=raise_on_error,
+                share_ground_states=share_ground_states,
+                on_sweep_complete=on_sweep_complete,
+            ),
+            name=f"repro.service:{name}",
+        )
+        self.handles.append(handle)
+        return handle
+
+    # ------------------------------------------------------------------
+    async def _run_campaign(
+        self,
+        handle: CampaignHandle,
+        *,
+        checkpoint_dir,
+        raise_on_error: bool,
+        share_ground_states: bool,
+        on_sweep_complete,
+    ) -> CampaignReport:
+        plan = handle.plan
+        handle._state = "running"
+        cursor = self.pool.start_time
+        try:
+            for sweep_name in plan.sweep_names:
+                sweep_dir = None
+                if checkpoint_dir is not None:
+                    sweep_dir = os.path.join(os.fspath(checkpoint_dir), sweep_name)
+                start = time.perf_counter()
+                try:
+                    outcome = await run_sweep(
+                        plan.sweep_spec(sweep_name),
+                        plan.settings,
+                        self.pool,
+                        tenant=handle.name,
+                        name=sweep_name,
+                        priority=handle.priority,
+                        arrival=cursor,  # a campaign's own sweeps still serialise
+                        checkpoint_dir=sweep_dir,
+                        raise_on_error=raise_on_error,
+                        share_ground_states=share_ground_states,
+                        progress=handle._progress[sweep_name],
+                    )
+                finally:
+                    # elapsed survives a mid-sweep failure, so partial reports
+                    # keep the timings of everything that ran
+                    handle._elapsed[sweep_name] = time.perf_counter() - start
+                handle._reports[sweep_name] = outcome.report
+                cursor = outcome.modeled_end
+                if on_sweep_complete is not None:
+                    on_sweep_complete(sweep_name, outcome.report)
+        except asyncio.CancelledError:
+            handle._state = "cancelled"
+            raise
+        except BaseException as exc:
+            handle._state = "failed"
+            # completed sweeps stay inspectable on the error itself
+            exc.partial_report = handle.partial_report()
+            raise
+        handle._state = "done"
+        return CampaignReport(
+            plan.as_dict(), dict(handle._reports), elapsed_seconds=dict(handle._elapsed)
+        )

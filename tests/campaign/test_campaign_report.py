@@ -7,6 +7,7 @@ import json
 import numpy as np
 import pytest
 
+from repro.api import PROPAGATORS
 from repro.batch import BatchRunner, SweepSpec
 from repro.campaign import Budget, CampaignReport, CampaignSpec, plan, run
 
@@ -110,3 +111,80 @@ class TestRoundTrips:
             CampaignReport.from_dict({"plan": {}})
         with pytest.raises(ValueError, match="ExecutionPlan"):
             CampaignReport("not-a-plan", {})
+
+
+# ---------------------------------------------------------------------------
+# Failure paths: campaigns with failed jobs and missing timings
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def failing_campaign(tiny_config) -> CampaignSpec:
+    """One healthy dt sweep plus one sweep whose second job always fails."""
+
+    def explode(hamiltonian, **params):
+        raise RuntimeError("simulated campaign-level crash")
+
+    PROPAGATORS.register("campaign_exploding_prop", explode)
+    yield CampaignSpec(
+        {
+            "dt": SweepSpec(tiny_config, {"run.time_step_as": [1.0, 2.0]}),
+            "mixed": SweepSpec(
+                tiny_config, {"propagator.name": ["ptcn", "campaign_exploding_prop"]}
+            ),
+        }
+    )
+    PROPAGATORS.unregister("campaign_exploding_prop")
+
+
+class TestFailurePaths:
+    def test_failed_jobs_are_counted_and_rendered(self, failing_campaign):
+        report = plan(failing_campaign, machines=["summit"]).execute()
+        assert not report.ok
+        assert report.n_failed == 1
+        assert report.n_jobs == 4
+        assert [r.status for r in report["mixed"]] == ["completed", "failed"]
+        table = report.plan_table()
+        rows = table.splitlines()
+        mixed_row = next(line for line in rows if line.startswith("mixed"))
+        assert " 1 " in mixed_row  # the failed count shows in the table
+        assert report.complete and report.pending_sweeps == []
+
+    def test_failed_campaign_round_trips_through_json(self, failing_campaign):
+        report = plan(failing_campaign, machines=["summit"]).execute()
+        rebuilt = CampaignReport.from_json(report.to_json())
+        assert rebuilt.to_json() == report.to_json()
+        assert rebuilt.n_failed == report.n_failed == 1
+        assert not rebuilt.ok
+        failed = rebuilt["mixed"].failed[0]
+        assert "RuntimeError" in failed.error and failed.trajectory is None
+        for name in report.sweep_names:
+            assert rebuilt.observed_wall_seconds(name) == report.observed_wall_seconds(name)
+
+    def test_missing_elapsed_entries_are_tolerated(self, failing_campaign):
+        executed = plan(failing_campaign, machines=["summit"]).execute()
+        # a partially recorded campaign: one elapsed entry lost entirely
+        report = CampaignReport(
+            executed.plan,
+            executed.reports,
+            elapsed_seconds={"dt": executed.elapsed_seconds["dt"]},
+        )
+        assert report.plan_table()  # renders without the missing entry
+        rebuilt = CampaignReport.from_json(report.to_json())
+        assert rebuilt.elapsed_seconds == {"dt": executed.elapsed_seconds["dt"]}
+        # and no elapsed record at all still round-trips
+        bare = CampaignReport(executed.plan, executed.reports)
+        assert CampaignReport.from_json(bare.to_json()).elapsed_seconds == {}
+
+    def test_partial_report_renders_pending_sweeps_prediction_only(self, failing_campaign):
+        executed = plan(failing_campaign, machines=["summit"]).execute()
+        partial = CampaignReport(executed.plan, {"dt": executed.reports["dt"]})
+        assert partial.planned_sweeps == ["dt", "mixed"]
+        assert partial.pending_sweeps == ["mixed"]
+        assert not partial.complete
+        table = partial.plan_table()
+        mixed_row = next(line for line in table.splitlines() if line.startswith("mixed"))
+        assert "-" in mixed_row  # prediction-only: no observed wall yet
+        assert "partial: 1 of 2 sweeps reported" in table
+        with pytest.raises(KeyError, match="unknown sweep"):
+            partial["mixed"]

@@ -423,3 +423,109 @@ class TestBackendSurface:
         assert [r.job_id for r in results] == [r.job_id for r in reference]
         for a, b in zip(results, reference):
             np.testing.assert_array_equal(a.trajectory.energies, b.trajectory.energies)
+
+
+# ---------------------------------------------------------------------------
+# Non-blocking observation: poll() / cancel() beside drain()
+# ---------------------------------------------------------------------------
+
+
+class TestPollCancel:
+    """Every backend exposes a JSON-able progress snapshot and a cooperative
+    cancel that stops the drain at the next group boundary."""
+
+    @staticmethod
+    def _submit(backend, spec):
+        scheduled = Scheduler("fifo").schedule(BatchRunner(spec).groups())
+        for group in scheduled:
+            backend.submit_group(group)
+        return backend
+
+    @staticmethod
+    def _stub_execute_group(monkeypatch, on_group=None):
+        """Replace the physics with instant stub results; ``on_group(i)`` fires
+        after the i-th group (1-based) so tests can cancel mid-drain."""
+        from repro.batch import JobResult
+
+        calls: list[int] = []
+
+        def fake(jobs, checkpoint_dir, raise_on_error, session=None, share_ground_states=False):
+            calls.append(len(jobs))
+            if on_group is not None:
+                on_group(len(calls))
+            return [JobResult.from_failure(job, RuntimeError("stubbed")) for job in jobs]
+
+        monkeypatch.setattr("repro.exec.backends.execute_group", fake)
+        return calls
+
+    def test_poll_reports_zero_then_full_progress(self, four_group_spec, monkeypatch):
+        import json
+
+        self._stub_execute_group(monkeypatch)
+        backend = self._submit(SerialBackend(), four_group_spec)
+
+        before = backend.poll()
+        assert before == {
+            "backend": "serial",
+            "n_groups": 4,
+            "n_jobs": 8,
+            "groups_done": 0,
+            "jobs_done": 0,
+            "cancelled": False,
+            "done": False,
+        }
+        results = backend.drain()
+        after = backend.poll()
+        assert len(results) == 8
+        assert after["groups_done"] == 4 and after["jobs_done"] == 8
+        assert after["done"] and not after["cancelled"]
+        json.dumps(after)  # the snapshot is strict JSON
+
+    def test_cancel_before_drain_skips_everything(self, four_group_spec, monkeypatch):
+        calls = self._stub_execute_group(monkeypatch)
+        backend = self._submit(SerialBackend(), four_group_spec)
+
+        assert backend.cancel() == 4  # all four groups were still pending
+        assert backend.drain() == []
+        assert calls == []  # no physics ran at all
+        status = backend.poll()
+        assert status["cancelled"] and status["done"]
+        assert status["groups_done"] == 0
+
+    def test_mid_drain_cancel_stops_at_the_group_boundary(self, four_group_spec, monkeypatch):
+        backend = SerialBackend()
+        pending_at_cancel = []
+
+        def cancel_after_second(i):
+            if i == 2:
+                pending_at_cancel.append(backend.cancel())
+
+        calls = self._stub_execute_group(monkeypatch, on_group=cancel_after_second)
+        self._submit(backend, four_group_spec)
+
+        results = backend.drain()
+        # group 2 finished (cancel is cooperative), groups 3-4 never started
+        assert calls == [2, 2]
+        assert len(results) == 4
+        assert pending_at_cancel == [3]  # groups 2, 3, 4 were unfinished then
+        status = backend.poll()
+        assert status["cancelled"] and status["done"]
+        assert status["groups_done"] == 2 and status["jobs_done"] == 4
+
+    def test_distributed_backend_honours_cancel(self, four_group_spec, monkeypatch):
+        comm = SimCommunicator(size=2)
+        backend = DistributedBackend(comm=comm)
+
+        def cancel_after_first(i):
+            if i == 1:
+                backend.cancel()
+
+        calls = self._stub_execute_group(monkeypatch, on_group=cancel_after_first)
+        self._submit(backend, four_group_spec)
+
+        results = backend.drain()
+        assert calls == [2]  # only the first group was dispatched
+        assert len(results) == 2
+        status = backend.poll()
+        assert status["backend"] == "distributed"
+        assert status["groups_done"] == 1 and status["cancelled"] and status["done"]
