@@ -1,197 +1,65 @@
-"""On-disk checkpointing of completed sweep jobs (resume-after-crash).
+"""Compatibility shim: the per-directory checkpoint API over the store.
 
-Each completed job persists as two files in the checkpoint directory:
+:class:`CheckpointStore` used to write ``<job_id>.npz`` / ``<job_id>.json``
+pairs directly into its directory. It is now a thin subclass of
+:class:`~repro.store.ResultStore`: the directory becomes a content-addressed
+store root (``objects/`` + ``manifests/`` + ``quarantine/``), artifacts are
+sha256-named and deduplicated, manifests carry size + content digests, and
+every read is verified — see :mod:`repro.store` for the layout and the
+durability rules. The legacy surface kept here:
 
-* ``<job_id>.npz`` — the trajectory (observables + final orbitals), written
-  first via :meth:`~repro.core.dynamics.Trajectory.save_npz`;
-* ``<job_id>.json`` — the manifest (point, config, config hash, summary),
-  written atomically *after* the npz, so a manifest on disk guarantees a
-  complete archive next to it. A crash mid-job leaves no manifest and the job
-  simply reruns on resume.
+* construction from a plain directory (``CheckpointStore(path)``, with
+  ``.directory``);
+* ``manifest_path(job_id)`` / ``trajectory_path(job_id)`` /
+  ``ground_state_trajectory_path(group_key)`` resolving to where the entry
+  actually lives in the store;
+* ``completed_ids()`` returning the *job ids* recorded by the manifests.
 
-Staleness is guarded twice: the job id embeds a hash of the expanded config
-(a changed sweep produces different ids), and :meth:`CheckpointStore.load`
-re-checks the stored hash against the live job before trusting a manifest.
-
-Besides per-job results the store also persists the *shared ground states* of
-a sweep: one converged SCF per ground-state group, keyed by a hash of
-:func:`~repro.batch.sweep.ground_state_group_key` and stored as
-``gs-<hash>.npz`` / ``gs-<hash>.json``. A resumed sweep (or a second sweep
-over the same systems) adopts these into its sessions and skips even the
-first group SCF.
+``has``/``load``/``save`` and the ``*_ground_state`` trio are inherited
+unchanged — results are keyed by config hash, so a directory shared between
+sweeps serves cross-sweep hits exactly like a first-class store.
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
-import os
 import pathlib
 
-from ..core.dynamics import Trajectory, json_default
-from ..pw.ground_state import GroundStateResult
-from .report import JobResult
-from .sweep import SweepJob, config_hash
+from ..store.store import ResultStore, ground_state_hash
 
 __all__ = ["CheckpointStore", "ground_state_hash"]
 
-#: filename prefix of shared ground-state entries (keeps them distinguishable
-#: from per-job checkpoints, whose ids start with ``job``)
-_GS_PREFIX = "gs-"
 
-
-def ground_state_hash(group_key: str) -> str:
-    """Short stable hash of a ground-state group key (the store's gs file stem)."""
-    return hashlib.sha1(group_key.encode()).hexdigest()[:12]
-
-
-class CheckpointStore:
+class CheckpointStore(ResultStore):
     """Directory-backed store of completed :class:`~repro.batch.JobResult`\\ s."""
 
     def __init__(self, directory):
-        self.directory = pathlib.Path(directory)
-        self.directory.mkdir(parents=True, exist_ok=True)
+        super().__init__(directory)
+        self.directory = self.root
 
+    # ------------------------------------------------------------------
+    # Legacy path helpers (job-id / group-key addressed)
     # ------------------------------------------------------------------
     def manifest_path(self, job_id: str) -> pathlib.Path:
-        """Path of the job's JSON manifest."""
-        return self.directory / f"{job_id}.json"
+        """Path of the job's JSON manifest.
+
+        Job ids embed the config hash as their last ``-`` component
+        (``job0000-<hash>``), which is the store key.
+        """
+        return self.job_manifest_path(job_id.rsplit("-", 1)[-1])
 
     def trajectory_path(self, job_id: str) -> pathlib.Path:
-        """Path of the job's trajectory archive."""
-        return self.directory / f"{job_id}.npz"
+        """Path of the job's trajectory archive (its content-addressed object)."""
+        return self._artifact_path(self.manifest_path(job_id))
 
-    def completed_ids(self) -> set[str]:
-        """Ids of every *job* with a manifest in the store (ground-state
-        entries are tracked separately)."""
-        return {
-            path.stem
-            for path in self.directory.glob("*.json")
-            if not path.name.startswith(_GS_PREFIX)
-        }
-
-    # ------------------------------------------------------------------
-    def _read_manifest(self, job: SweepJob) -> dict | None:
-        path = self.manifest_path(job.job_id)
-        if not path.exists():
-            return None
-        try:
-            manifest = json.loads(path.read_text())
-        except (ValueError, OSError):
-            return None  # truncated/corrupt manifest: treat as absent, rerun
-        if manifest.get("config_hash") != config_hash(job.config):
-            return None  # stale: the config behind this id changed
-        if manifest.get("status") != "completed":
-            return None
-        return manifest
-
-    def has(self, job: SweepJob) -> bool:
-        """Whether a fresh, complete checkpoint exists for ``job``."""
-        return self._read_manifest(job) is not None and self.trajectory_path(job.job_id).exists()
-
-    def load(self, job: SweepJob) -> JobResult | None:
-        """The checkpointed result for ``job`` (status ``"cached"``), or
-        ``None`` if absent/stale — in which case the caller just reruns."""
-        manifest = self._read_manifest(job)
-        if manifest is None:
-            return None
-        traj_path = self.trajectory_path(job.job_id)
-        if not traj_path.exists():
-            return None
-        trajectory = Trajectory.load_npz(traj_path)  # observables only, no basis
-        return JobResult(
-            index=job.index,
-            job_id=job.job_id,
-            point=manifest.get("point", dict(job.point)),
-            config=manifest.get("config", job.config.to_dict()),
-            status="cached",
-            summary=manifest.get("summary", {}),
-            trajectory=trajectory,
-        )
-
-    def save(self, result: JobResult) -> None:
-        """Persist a completed result (trajectory first, manifest last)."""
-        if result.trajectory is None or result.trajectory.final_wavefunction is None:
-            raise ValueError(
-                f"cannot checkpoint job {result.job_id!r}: it has no full trajectory"
-            )
-        self.directory.mkdir(parents=True, exist_ok=True)
-        result.trajectory.save_npz(self.trajectory_path(result.job_id))
-        manifest = {
-            "job_id": result.job_id,
-            "index": result.index,
-            "point": result.point,
-            "config": result.config,
-            "config_hash": config_hash(result.config),
-            "status": "completed",
-            "summary": result.summary,
-        }
-        path = self.manifest_path(result.job_id)
-        tmp = path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(manifest, indent=2, default=json_default))
-        os.replace(tmp, path)
-
-    # ------------------------------------------------------------------
-    # Shared ground states (one converged SCF per ground-state group)
-    # ------------------------------------------------------------------
     def ground_state_trajectory_path(self, group_key: str) -> pathlib.Path:
         """Path of the group's ground-state orbital archive."""
-        return self.directory / f"{_GS_PREFIX}{ground_state_hash(group_key)}.npz"
+        return self._artifact_path(self.ground_state_manifest_path(group_key))
 
-    def ground_state_manifest_path(self, group_key: str) -> pathlib.Path:
-        """Path of the group's ground-state manifest."""
-        return self.directory / f"{_GS_PREFIX}{ground_state_hash(group_key)}.json"
-
-    def _read_ground_state_manifest(self, group_key: str) -> dict | None:
-        path = self.ground_state_manifest_path(group_key)
-        if not path.exists():
-            return None
-        try:
-            manifest = json.loads(path.read_text())
-        except (ValueError, OSError):
-            return None  # truncated/corrupt: treat as absent, reconverge
-        if manifest.get("group_key") != group_key:
-            return None  # hash collision on the 12-char stem: do not trust it
-        if manifest.get("status") != "completed":
-            return None
-        return manifest
-
-    def has_ground_state(self, group_key: str) -> bool:
-        """Whether a complete shared ground state exists for ``group_key``."""
-        return (
-            self._read_ground_state_manifest(group_key) is not None
-            and self.ground_state_trajectory_path(group_key).exists()
-        )
-
-    def load_ground_state(self, group_key: str, basis=None) -> GroundStateResult | None:
-        """The persisted ground state of a group, or ``None`` if absent.
-
-        ``basis`` is the :class:`~repro.pw.grid.PlaneWaveBasis` the orbitals
-        refer to (pass the consuming session's); without it the result carries
-        no wavefunction and cannot seed a propagation.
-        """
-        if self._read_ground_state_manifest(group_key) is None:
-            return None
-        path = self.ground_state_trajectory_path(group_key)
-        if not path.exists():
-            return None
-        return GroundStateResult.load_npz(path, basis=basis)
-
-    def save_ground_state(self, group_key: str, result: GroundStateResult) -> None:
-        """Persist a group's converged SCF (orbitals first, manifest last)."""
-        if result.wavefunction is None:
-            raise ValueError("cannot checkpoint a ground state without its orbitals")
-        self.directory.mkdir(parents=True, exist_ok=True)
-        result.save_npz(self.ground_state_trajectory_path(group_key))
-        manifest = {
-            "group_hash": ground_state_hash(group_key),
-            "group_key": group_key,
-            "status": "completed",
-            "converged": bool(result.converged),
-            "total_energy": float(result.total_energy),
-            "scf_iterations": int(result.scf_iterations),
-        }
-        path = self.ground_state_manifest_path(group_key)
-        tmp = path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(manifest, indent=2, default=json_default))
-        os.replace(tmp, path)
+    def _artifact_path(self, manifest_path: pathlib.Path) -> pathlib.Path:
+        """The object a manifest points at; a placeholder path if unindexed."""
+        manifest = self._read_json(manifest_path)
+        if manifest is not None:
+            artifact = manifest.get("artifact")
+            if isinstance(artifact, dict) and isinstance(artifact.get("sha256"), str):
+                return self.object_path(artifact["sha256"])
+        return self.objects_dir / f"missing-{manifest_path.stem}.npz"

@@ -178,6 +178,16 @@ class SweepReport:
         return [r for r in self.results if r.ok]
 
     @property
+    def cached(self) -> list[JobResult]:
+        """Jobs served from a store/checkpoint instead of recomputed."""
+        return [r for r in self.results if r.status == "cached"]
+
+    @property
+    def n_cached(self) -> int:
+        """How many jobs were store hits (the incremental-campaign metric)."""
+        return len(self.cached)
+
+    @property
     def failed(self) -> list[JobResult]:
         """Jobs that raised."""
         return [r for r in self.results if r.status == "failed"]
@@ -196,14 +206,19 @@ class SweepReport:
     def to_dict(self, exclude_timings: bool = False) -> dict:
         """A JSON-serializable summary of the whole sweep.
 
-        With ``exclude_timings`` the measured wall-clock times are zeroed out,
-        leaving only deterministic physics: that export is bit-identical
-        across execution backends (and across reruns), which is how the
-        backend-equivalence tests compare serial and distributed sweeps.
+        With ``exclude_timings`` the measured wall-clock times are zeroed out
+        and cache provenance is normalised (``"cached"`` reads as
+        ``"completed"`` — whether a job was recomputed or served by a store
+        is execution history, not physics), leaving only deterministic
+        physics: that export is bit-identical across execution backends,
+        across reruns, and across cold/warm stores, which is how the
+        backend-equivalence and incremental-campaign tests compare runs.
         """
         jobs = [r.to_dict() for r in self.results]
         if exclude_timings:
             for job in jobs:
+                if job.get("status") == "cached":
+                    job["status"] = "completed"
                 if isinstance(job.get("summary"), dict):
                     job["summary"].pop("wall_time", None)
                 trajectory = job.get("trajectory")
@@ -216,6 +231,10 @@ class SweepReport:
             "n_failed": len(self.failed),
             "jobs": jobs,
         }
+        if not exclude_timings:
+            # cached-vs-computed provenance rides with the full export only;
+            # the deterministic physics export must not depend on the store
+            data["n_cached"] = self.n_cached
         if self.settings is not None and not exclude_timings:
             # how the sweep was produced (machine preset, schedule, backend);
             # left out of the deterministic physics export, which must stay

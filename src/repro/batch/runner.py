@@ -55,6 +55,7 @@ import warnings
 
 from ..api.session import Session
 from ..exec.settings import BACKEND_NAMES, ExecutionSettings
+from ..store.store import ResultStore
 from .checkpoint import CheckpointStore
 from .report import SweepReport
 from .sweep import SweepJob, SweepSpec, group_jobs
@@ -78,6 +79,13 @@ class BatchRunner:
     checkpoint_dir:
         Directory for per-job and shared ground-state checkpoints; ``None``
         disables checkpointing.
+    store:
+        A content-addressed :class:`~repro.store.ResultStore` (or its root
+        directory) serving and receiving results. Unlike ``checkpoint_dir``
+        — which scopes resume to one directory — a store may be shared by
+        any number of sweeps and campaigns, and any of them serves a hit
+        for an already-computed config. Takes precedence over
+        ``checkpoint_dir`` when both are given.
     machine:
         Expert override: a concrete :class:`repro.cost.MachineCostModel`
         predicting wall seconds and joules for the scheduler and the report
@@ -109,6 +117,7 @@ class BatchRunner:
         *,
         settings: ExecutionSettings | dict | None = None,
         checkpoint_dir=None,
+        store=None,
         backend: str | None = None,
         max_workers: int | None = None,
         ranks: int | None = None,
@@ -145,6 +154,9 @@ class BatchRunner:
         self.spec = spec
         self.settings = settings
         self.checkpoint_dir = checkpoint_dir
+        if store is not None and not isinstance(store, ResultStore):
+            store = ResultStore(store)
+        self.store = store
         self._machine_overridden = machine is not self._DEFAULT_MACHINE
         self.machine = settings.machine_model() if not self._machine_overridden else machine
         self.placement = placement
@@ -161,6 +173,7 @@ class BatchRunner:
         name: str | None = None,
         *,
         checkpoint_dir=None,
+        store=None,
         raise_on_error: bool = False,
         share_ground_states: bool = True,
     ) -> "BatchRunner":
@@ -183,6 +196,7 @@ class BatchRunner:
             plan.sweep_spec(name),
             settings=plan.settings,
             checkpoint_dir=checkpoint_dir,
+            store=store,
             raise_on_error=raise_on_error,
             share_ground_states=share_ground_states,
         )
@@ -216,10 +230,19 @@ class BatchRunner:
         (see :func:`repro.batch.sweep.group_jobs`)."""
         return group_jobs(self.spec)
 
-    def _ground_state_store(self) -> CheckpointStore | None:
-        if self.checkpoint_dir is None or not self.share_ground_states:
+    def _result_store(self) -> ResultStore | None:
+        """The store serving this sweep: ``store=`` if given, else a
+        per-directory :class:`CheckpointStore` over ``checkpoint_dir``."""
+        if self.store is not None:
+            return self.store
+        if self.checkpoint_dir is not None:
+            return CheckpointStore(self.checkpoint_dir)
+        return None
+
+    def _ground_state_store(self) -> ResultStore | None:
+        if not self.share_ground_states:
             return None
-        return CheckpointStore(self.checkpoint_dir)
+        return self._result_store()
 
     def prepare_ground_states(self) -> int:
         """Converge (in-process) the shared ground state of every group that
@@ -233,7 +256,7 @@ class BatchRunner:
         these warm sessions (process/distributed workers rebuild their own);
         the one-SCF-per-group property holds either way.
         """
-        store = CheckpointStore(self.checkpoint_dir) if self.checkpoint_dir is not None else None
+        store = self._result_store()
         gs_store = self._ground_state_store()
         count = 0
         for key, jobs in self.groups().items():
@@ -264,6 +287,7 @@ class BatchRunner:
             checkpoint_dir=self.checkpoint_dir,
             raise_on_error=self.raise_on_error,
             share_ground_states=self.share_ground_states,
+            store=self.store,
         )
         if self.backend == "process":
             return ProcessPoolBackend(max_workers=self.max_workers, sessions=self._sessions, **common)
@@ -293,6 +317,16 @@ class BatchRunner:
         results = backend.drain()
         execution = backend.execution_summary()
         execution["schedule"] = self.scheduler.policy
+        store = self._result_store()
+        if store is not None:
+            # cached-vs-computed provenance; execution summaries are already
+            # excluded from the deterministic physics export
+            execution["store"] = {
+                "root": str(store.root),
+                "hits": sum(1 for r in results if r.status == "cached"),
+                "computed": sum(1 for r in results if r.status == "completed"),
+                "failed": sum(1 for r in results if r.status == "failed"),
+            }
         return SweepReport(
             results,
             axes=self.spec.axis_paths,

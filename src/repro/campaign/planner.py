@@ -153,6 +153,7 @@ class ExecutionPlan:
         self,
         checkpoint_dir=None,
         *,
+        store=None,
         raise_on_error: bool = False,
         share_ground_states: bool = True,
         on_sweep_complete=None,
@@ -169,6 +170,12 @@ class ExecutionPlan:
         ``checkpoint_dir`` gets one subdirectory per sweep name, so campaigns
         are resumable exactly like single sweeps: re-executing a crashed plan
         loads every finished job and every converged SCF from disk.
+        ``store`` (a :class:`~repro.store.ResultStore` or its root directory)
+        goes further: every sweep of the campaign — and any other campaign
+        sharing the store — is diffed against one content-addressed index,
+        so a re-executed plan runs only new/changed configs (zero SCFs, zero
+        propagation steps for a fully warm store) and the hits are stamped
+        as ``"cached"`` provenance in the reports.
         ``on_sweep_complete(name, report)``, when given, is called after each
         sweep finishes — mid-campaign feedback without the service API. With
         ``raise_on_error`` the raised exception carries a ``partial_report``
@@ -198,6 +205,7 @@ class ExecutionPlan:
                 self,
                 name="campaign",
                 checkpoint_dir=checkpoint_dir,
+                store=store,
                 raise_on_error=raise_on_error,
                 share_ground_states=share_ground_states,
                 on_sweep_complete=on_sweep_complete,

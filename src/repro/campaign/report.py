@@ -91,6 +91,13 @@ class CampaignReport:
         return sum(len(report.failed) for report in self.reports.values())
 
     @property
+    def n_cached(self) -> int:
+        """Total store-served jobs across every sweep — the campaign's
+        incremental-execution metric (0 on a cold store, ``n_jobs`` on a
+        fully warm re-run)."""
+        return sum(report.n_cached for report in self.reports.values())
+
+    @property
     def ok(self) -> bool:
         """Whether every job of every sweep produced a usable trajectory."""
         return self.n_failed == 0
@@ -133,7 +140,7 @@ class CampaignReport:
         """
         planned = self.plan.get("sweeps", {})
         headers = [
-            "sweep", "jobs", "failed",
+            "sweep", "jobs", "failed", "cached",
             "predicted wall [s]", "observed wall [s]", "predicted energy [J]",
         ]
         rows = []
@@ -144,6 +151,7 @@ class CampaignReport:
                     name,
                     len(report),
                     len(report.failed),
+                    report.n_cached,
                     prediction.get("predicted_wall_seconds", "-"),
                     _observed_wall_seconds(report),
                     prediction.get("predicted_energy_joules", "-"),
@@ -156,6 +164,7 @@ class CampaignReport:
                 [
                     name,
                     prediction.get("n_jobs", "-"),
+                    "-",
                     "-",
                     prediction.get("predicted_wall_seconds", "-"),
                     "-",

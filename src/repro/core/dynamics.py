@@ -9,8 +9,13 @@ is the Python-level counterpart of the outer time loop of the paper's runs
 
 from __future__ import annotations
 
+import contextlib
 import copy
+import io
 import json
+import os
+import uuid
+import zipfile
 from dataclasses import dataclass, field
 import time as _wallclock
 
@@ -22,6 +27,33 @@ from .observables import dipole_moment, electron_number, energy_drift
 from .propagators.base import Propagator, StepStatistics
 
 __all__ = ["Trajectory", "TDDFTSimulation", "json_default"]
+
+
+def _atomic_savez(path, **arrays) -> None:
+    """Deterministic ``np.savez`` through a sibling tmp file + ``os.replace``.
+
+    Atomic: a crash mid-write can never leave a torn archive at the final
+    path (checkpoint manifests assume the archive next to them is complete).
+    Deterministic: ``np.savez`` stamps zip members with the current wall
+    clock, so the archive is rewritten with member timestamps pinned to the
+    zip epoch — equal arrays give byte-identical files, which is what lets a
+    content-addressed store deduplicate equal physics by sha256.
+    """
+    path = os.fspath(path)
+    if not path.endswith(".npz"):
+        path += ".npz"  # np.savez appends the extension for bare paths; match it
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    buffer.seek(0)
+    tmp = f"{path}.{os.getpid()}-{uuid.uuid4().hex}.tmp"
+    try:
+        with zipfile.ZipFile(buffer) as src, zipfile.ZipFile(tmp, "w", zipfile.ZIP_STORED) as dst:
+            for name in src.namelist():
+                dst.writestr(zipfile.ZipInfo(name), src.read(name))  # epoch date_time
+        os.replace(tmp, path)
+    finally:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
 
 
 def json_default(value):
@@ -149,7 +181,7 @@ class Trajectory:
                 "(trajectory was loaded without a basis)"
             )
         arrays = {name: np.asarray(getattr(self, name)) for name in self._ARRAY_FIELDS}
-        np.savez(
+        _atomic_savez(
             path,
             wall_time=np.float64(self.wall_time),
             metadata_json=json.dumps(self.metadata, default=json_default),

@@ -61,6 +61,7 @@ def execute_group(
     raise_on_error: bool,
     session: Session | None = None,
     share_ground_states: bool = False,
+    store=None,
 ) -> list[JobResult]:
     """Run one ground-state group of jobs through a shared session.
 
@@ -70,12 +71,18 @@ def execute_group(
     checkpoints of the jobs before it were written — which is what makes a
     crashed sweep resumable.
 
-    With ``share_ground_states`` (and a checkpoint directory) the group's
-    converged SCF is adopted from / persisted to the
-    :class:`~repro.batch.CheckpointStore`, so a resumed sweep skips even the
+    With ``share_ground_states`` (and a store) the group's converged SCF is
+    adopted from / persisted to the store, so a resumed sweep skips even the
     first group SCF.
+
+    Persistence is served by ``store`` (any
+    :class:`~repro.store.ResultStore`) when given — this is how sweeps,
+    campaigns and service tenants share one content-addressed store —
+    otherwise by a per-directory
+    :class:`~repro.batch.CheckpointStore` over ``checkpoint_dir``.
     """
-    store = CheckpointStore(checkpoint_dir) if checkpoint_dir is not None else None
+    if store is None and checkpoint_dir is not None:
+        store = CheckpointStore(checkpoint_dir)
     gs_store = store if (share_ground_states and store is not None) else None
     gs_persisted = False
     results: list[JobResult] = []
@@ -147,9 +154,13 @@ def _run_group_worker(payload) -> list[dict]:
     avoid pickling wavefunctions and grids; checkpoints written inside the
     worker keep the full trajectories on disk.
     """
-    jobs, checkpoint_dir, raise_on_error, share_ground_states = payload
+    jobs, checkpoint_dir, raise_on_error, share_ground_states, store = payload
     results = execute_group(
-        jobs, checkpoint_dir, raise_on_error, share_ground_states=share_ground_states
+        jobs,
+        checkpoint_dir,
+        raise_on_error,
+        share_ground_states=share_ground_states,
+        store=store,
     )
     return [result.to_dict() for result in results]
 
@@ -171,14 +182,19 @@ class ExecutionBackend(ABC):
         Propagate the first job failure instead of recording it.
     share_ground_states:
         Persist/adopt converged SCFs through the checkpoint store (no effect
-        without ``checkpoint_dir``).
+        without a store or ``checkpoint_dir``).
+    store:
+        A shared :class:`~repro.store.ResultStore` serving/receiving results;
+        takes precedence over ``checkpoint_dir``.
     """
 
     #: registry name of the backend (the ``BatchRunner(backend=...)`` string)
     name = "backend"
 
-    def __init__(self, *, checkpoint_dir=None, raise_on_error: bool = False, share_ground_states: bool = False):
+    def __init__(self, *, checkpoint_dir=None, raise_on_error: bool = False,
+                 share_ground_states: bool = False, store=None):
         self.checkpoint_dir = checkpoint_dir
+        self.store = store
         self.raise_on_error = bool(raise_on_error)
         self.share_ground_states = bool(share_ground_states)
         self.groups: list[ScheduledGroup] = []
@@ -271,11 +287,12 @@ class SerialBackend(ExecutionBackend):
     name = "serial"
 
     def __init__(self, *, checkpoint_dir=None, raise_on_error: bool = False,
-                 share_ground_states: bool = False, sessions: dict | None = None):
+                 share_ground_states: bool = False, store=None, sessions: dict | None = None):
         super().__init__(
             checkpoint_dir=checkpoint_dir,
             raise_on_error=raise_on_error,
             share_ground_states=share_ground_states,
+            store=store,
         )
         self.sessions = {} if sessions is None else sessions
 
@@ -291,6 +308,7 @@ class SerialBackend(ExecutionBackend):
                     self.raise_on_error,
                     session=self.sessions.get(group.key),
                     share_ground_states=self.share_ground_states,
+                    store=self.store,
                 )
             )
             self._record_group_drained(group)
@@ -311,12 +329,13 @@ class ProcessPoolBackend(ExecutionBackend):
     name = "process"
 
     def __init__(self, *, checkpoint_dir=None, raise_on_error: bool = False,
-                 share_ground_states: bool = False, max_workers: int | None = None,
+                 share_ground_states: bool = False, store=None, max_workers: int | None = None,
                  sessions: dict | None = None):
         super().__init__(
             checkpoint_dir=checkpoint_dir,
             raise_on_error=raise_on_error,
             share_ground_states=share_ground_states,
+            store=store,
         )
         self.max_workers = max_workers
         self.sessions = {} if sessions is None else sessions
@@ -328,6 +347,7 @@ class ProcessPoolBackend(ExecutionBackend):
             checkpoint_dir=self.checkpoint_dir,
             raise_on_error=self.raise_on_error,
             share_ground_states=self.share_ground_states,
+            store=self.store,
             sessions=self.sessions,
         )
         fallback._cancelled = self._cancelled
@@ -371,7 +391,8 @@ class ProcessPoolBackend(ExecutionBackend):
                         group,
                         executor.submit(
                             _run_group_worker,
-                            (group.jobs, self.checkpoint_dir, self.raise_on_error, self.share_ground_states),
+                            (group.jobs, self.checkpoint_dir, self.raise_on_error,
+                             self.share_ground_states, self.store),
                         ),
                     )
                 )
@@ -423,12 +444,13 @@ class DistributedBackend(ExecutionBackend):
     name = "distributed"
 
     def __init__(self, *, ranks: int = 4, checkpoint_dir=None, raise_on_error: bool = False,
-                 share_ground_states: bool = False, comm: SimCommunicator | None = None,
+                 share_ground_states: bool = False, store=None, comm: SimCommunicator | None = None,
                  placement: NodePlacement | None = None):
         super().__init__(
             checkpoint_dir=checkpoint_dir,
             raise_on_error=raise_on_error,
             share_ground_states=share_ground_states,
+            store=store,
         )
         if comm is None and ranks < 1:
             raise ValueError(
@@ -511,6 +533,7 @@ class DistributedBackend(ExecutionBackend):
                 self.checkpoint_dir,
                 self.raise_on_error,
                 share_ground_states=self.share_ground_states,
+                store=self.store,
             )
 
             # results travel rank -> root as observables-only dicts

@@ -14,6 +14,11 @@ driver on top of :class:`repro.pw.hamiltonian.Hamiltonian`:
 
 from __future__ import annotations
 
+import contextlib
+import io
+import os
+import uuid
+import zipfile
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -25,6 +30,33 @@ from .hamiltonian import Hamiltonian
 from .orthogonalization import lowdin_orthonormalize
 
 __all__ = ["GroundStateResult", "GroundStateSolver"]
+
+
+def _atomic_savez(path, **arrays) -> None:
+    """Deterministic ``np.savez`` through a sibling tmp file + ``os.replace``.
+
+    Atomic: a crash mid-write can never leave a torn archive at the final
+    path (checkpoint manifests assume the archive next to them is complete).
+    Deterministic: ``np.savez`` stamps zip members with the current wall
+    clock, so the archive is rewritten with member timestamps pinned to the
+    zip epoch — equal arrays give byte-identical files, which is what lets a
+    content-addressed store deduplicate equal physics by sha256.
+    """
+    path = os.fspath(path)
+    if not path.endswith(".npz"):
+        path += ".npz"  # np.savez appends the extension for bare paths; match it
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    buffer.seek(0)
+    tmp = f"{path}.{os.getpid()}-{uuid.uuid4().hex}.tmp"
+    try:
+        with zipfile.ZipFile(buffer) as src, zipfile.ZipFile(tmp, "w", zipfile.ZIP_STORED) as dst:
+            for name in src.namelist():
+                dst.writestr(zipfile.ZipInfo(name), src.read(name))  # epoch date_time
+        os.replace(tmp, path)
+    finally:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
 
 
 @dataclass
@@ -73,7 +105,7 @@ class GroundStateResult:
             raise ValueError(
                 "cannot save_npz: wavefunction is None (result was loaded without a basis)"
             )
-        np.savez(
+        _atomic_savez(
             path,
             eigenvalues=np.asarray(self.eigenvalues),
             total_energy=np.float64(self.total_energy),

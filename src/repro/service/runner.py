@@ -94,6 +94,7 @@ async def run_sweep(
     priority: int = 0,
     arrival: float | None = None,
     checkpoint_dir=None,
+    store=None,
     raise_on_error: bool = False,
     share_ground_states: bool = True,
     progress=None,
@@ -106,6 +107,12 @@ async def run_sweep(
     additive wall the planner predicted). ``progress``, when given, is a
     :class:`~repro.service.SweepProgress` updated in place at every group
     boundary, which is what makes :meth:`CampaignHandle.progress` live.
+
+    ``store`` is a shared :class:`~repro.store.ResultStore`: every job whose
+    config is already stored is served as a hit (status ``"cached"``) instead
+    of recomputed, no matter which sweep, campaign or tenant computed it —
+    the incremental-campaign path. Without it, ``checkpoint_dir`` scopes
+    persistence to one directory as before.
     """
     scheduler = settings.scheduler()
     scheduled = scheduler.schedule(group_jobs(spec))
@@ -145,6 +152,7 @@ async def run_sweep(
                         checkpoint_dir,
                         raise_on_error,
                         share_ground_states=share_ground_states,
+                        store=store,
                     )
                 )
                 segment.append(group)
@@ -190,6 +198,15 @@ async def run_sweep(
         "modeled_start": modeled_start,
         "modeled_end": modeled_end,
     }
+    if store is not None or checkpoint_dir is not None:
+        # cached-vs-computed provenance; execution summaries are already
+        # excluded from the deterministic physics export
+        execution["store"] = {
+            "root": str(getattr(store, "root", checkpoint_dir)),
+            "hits": sum(1 for r in results if r.status == "cached"),
+            "computed": sum(1 for r in results if r.status == "completed"),
+            "failed": sum(1 for r in results if r.status == "failed"),
+        }
     report = SweepReport(
         results,
         axes=spec.axis_paths,

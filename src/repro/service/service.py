@@ -46,11 +46,22 @@ class CampaignService:
         named after it (its sweeps one more level down), so preempted or
         crashed campaigns resume like any sweep. A per-submission
         ``checkpoint_dir`` overrides this and is used as-is.
+    store:
+        Service-level :class:`~repro.store.ResultStore` (or its root
+        directory) shared by *every* submission: any tenant's sweep serves a
+        hit for a config any other tenant already computed, which is what
+        makes re-submitted campaigns incremental. A per-submission ``store``
+        overrides this.
     """
 
-    def __init__(self, pool: NodePool | None = None, *, checkpoint_dir=None):
+    def __init__(self, pool: NodePool | None = None, *, checkpoint_dir=None, store=None):
+        from ..store.store import ResultStore
+
         self.pool = NodePool() if pool is None else pool
         self.checkpoint_dir = checkpoint_dir
+        if store is not None and not isinstance(store, ResultStore):
+            store = ResultStore(store)
+        self.store = store
         self.handles: list[CampaignHandle] = []
         self._names = itertools.count(1)
 
@@ -107,6 +118,7 @@ class CampaignService:
         priority: int = 0,
         name: str | None = None,
         checkpoint_dir=None,
+        store=None,
         raise_on_error: bool = False,
         share_ground_states: bool = True,
         on_sweep_complete=None,
@@ -130,18 +142,31 @@ class CampaignService:
         sweep finishes, like the :meth:`~repro.campaign.ExecutionPlan.execute`
         callback. Must be called from a running event loop (the campaign runs
         as a task on it).
+
+        ``store`` (a :class:`~repro.store.ResultStore` or its root directory)
+        makes the submission incremental: each sweep is diffed against the
+        store and only new/changed configs execute, with the hits stamped as
+        ``"cached"`` provenance in the reports. It overrides the service-level
+        store for this submission.
         """
+        from ..store.store import ResultStore
+
         loop = asyncio.get_running_loop()  # raises RuntimeError outside a loop
         plan = self._admit(campaign, budget, planner_options)
         if name is None:
             name = f"campaign-{next(self._names)}"
         if checkpoint_dir is None and self.checkpoint_dir is not None:
             checkpoint_dir = os.path.join(os.fspath(self.checkpoint_dir), name)
+        if store is None:
+            store = self.store
+        elif not isinstance(store, ResultStore):
+            store = ResultStore(store)
         handle = CampaignHandle(name, plan, priority=priority)
         handle._task = loop.create_task(
             self._run_campaign(
                 handle,
                 checkpoint_dir=checkpoint_dir,
+                store=store,
                 raise_on_error=raise_on_error,
                 share_ground_states=share_ground_states,
                 on_sweep_complete=on_sweep_complete,
@@ -157,6 +182,7 @@ class CampaignService:
         handle: CampaignHandle,
         *,
         checkpoint_dir,
+        store,
         raise_on_error: bool,
         share_ground_states: bool,
         on_sweep_complete,
@@ -180,6 +206,7 @@ class CampaignService:
                         priority=handle.priority,
                         arrival=cursor,  # a campaign's own sweeps still serialise
                         checkpoint_dir=sweep_dir,
+                        store=store,
                         raise_on_error=raise_on_error,
                         share_ground_states=share_ground_states,
                         progress=handle._progress[sweep_name],

@@ -126,6 +126,23 @@ def count_scf_solves(monkeypatch):
 
 
 @pytest.fixture()
+def count_propagation_steps(monkeypatch):
+    """Record the step count of every ``TDDFTSimulation.run`` call made while
+    active (``sum(...)`` is the total number of propagation steps)."""
+    from repro.core.dynamics import TDDFTSimulation
+
+    calls = []
+    original = TDDFTSimulation.run
+
+    def counting(self, initial_state, time_step, n_steps, *args, **kwargs):
+        calls.append(int(n_steps))
+        return original(self, initial_state, time_step, n_steps, *args, **kwargs)
+
+    monkeypatch.setattr(TDDFTSimulation, "run", counting)
+    return calls
+
+
+@pytest.fixture()
 def rng():
     """A deterministic random generator."""
     return np.random.default_rng(20260615)

@@ -449,7 +449,8 @@ class TestPollCancel:
 
         calls: list[int] = []
 
-        def fake(jobs, checkpoint_dir, raise_on_error, session=None, share_ground_states=False):
+        def fake(jobs, checkpoint_dir, raise_on_error, session=None, share_ground_states=False,
+                 store=None):
             calls.append(len(jobs))
             if on_group is not None:
                 on_group(len(calls))

@@ -1,0 +1,92 @@
+"""Property tests pinning the store-key contract.
+
+The whole store rests on :func:`repro.batch.sweep.config_hash` being a
+*canonical* key: invariant under dict key order, dict-vs-SimulationConfig
+input and JSON round-trips, blind to execution-only run fields, and
+injective over distinct physics. Hypothesis hunts for counterexamples.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import SimulationConfig
+from repro.batch.sweep import config_hash
+from repro.store import ground_state_hash
+
+#: tiny H2 base (mirrors the root conftest's TINY_API_DICT; restated so the
+#: property tests stand alone)
+TINY = {
+    "system": {"structure": "hydrogen_molecule", "params": {"box": 8.0, "bond_length": 1.4}},
+    "basis": {"ecut": 2.0},
+    "xc": {"hybrid_mixing": 0.0},
+    "run": {"time_step_as": 1.0, "n_steps": 2, "gs_scf_tolerance": 1e-6},
+}
+
+#: physically plausible axis values — the hash must behave over all of them
+_dts = st.floats(min_value=0.05, max_value=200.0, allow_nan=False, allow_infinity=False)
+_ecuts = st.floats(min_value=0.5, max_value=50.0, allow_nan=False, allow_infinity=False)
+
+
+def _tiny_dict(dt: float = 1.0, ecut: float = 2.0) -> dict:
+    data = json.loads(json.dumps(TINY))
+    data["run"]["time_step_as"] = dt
+    data["basis"]["ecut"] = ecut
+    return data
+
+
+@settings(max_examples=50, deadline=None)
+@given(rnd=st.randoms(use_true_random=False), dt=_dts, ecut=_ecuts)
+def test_key_is_invariant_under_dict_key_order(rnd, dt, ecut):
+    data = _tiny_dict(dt, ecut)
+
+    def shuffled(node):
+        if not isinstance(node, dict):
+            return node
+        items = list(node.items())
+        rnd.shuffle(items)
+        return {key: shuffled(value) for key, value in items}
+
+    assert config_hash(shuffled(data)) == config_hash(data)
+
+
+@settings(max_examples=25, deadline=None)
+@given(dt=_dts, ecut=_ecuts)
+def test_config_object_and_its_dict_form_agree(dt, ecut):
+    config = SimulationConfig.from_dict(_tiny_dict(dt, ecut))
+    assert config_hash(config) == config_hash(config.to_dict())
+
+
+@settings(max_examples=25, deadline=None)
+@given(dt=_dts, ecut=_ecuts)
+def test_key_survives_a_json_round_trip(dt, ecut):
+    # manifests store the config as JSON text; floats must round-trip to the
+    # same key or a rewritten manifest would orphan its own artifact
+    data = SimulationConfig.from_dict(_tiny_dict(dt, ecut)).to_dict()
+    assert config_hash(json.loads(json.dumps(data))) == config_hash(data)
+
+
+@settings(max_examples=50, deadline=None)
+@given(dt1=_dts, dt2=_dts)
+def test_distinct_configs_get_distinct_keys(dt1, dt2):
+    key1 = config_hash(_tiny_dict(dt=dt1))
+    key2 = config_hash(_tiny_dict(dt=dt2))
+    assert (key1 == key2) == (dt1 == dt2)
+
+
+def test_execution_only_run_fields_do_not_change_the_key():
+    base = _tiny_dict()
+    noisy = json.loads(json.dumps(base))
+    noisy["run"]["schedule"] = {"policy": "cheapest_first"}
+    noisy["run"]["machine"] = {"name": "summit"}
+    assert config_hash(noisy) == config_hash(base)
+
+
+@settings(max_examples=50, deadline=None)
+@given(key1=st.text(min_size=1, max_size=64), key2=st.text(min_size=1, max_size=64))
+def test_ground_state_hash_is_stable_and_injective(key1, key2):
+    assert ground_state_hash(key1) == ground_state_hash(key1)
+    assert (ground_state_hash(key1) == ground_state_hash(key2)) == (key1 == key2)
