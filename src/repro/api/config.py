@@ -225,9 +225,16 @@ class RunConfig:
         Outer-iteration bound of the ground-state SCF.
     schedule:
         Sweep-level scheduling section consumed by :mod:`repro.exec` (it never
-        affects the physics of a single run). Currently one key: ``policy``,
-        one of :data:`SCHEDULE_POLICIES` (default ``"fifo"``), e.g.
-        ``{"schedule": {"policy": "cheapest_first"}}``.
+        affects the physics of a single run). Keys: ``policy``, one of
+        :data:`SCHEDULE_POLICIES` (default ``"fifo"``), e.g.
+        ``{"schedule": {"policy": "cheapest_first"}}``; ``batch_stepping``,
+        a bool (default ``False``) enabling lockstep multi-job propagation
+        within a ground-state group; and ``precision``, ``"complex128"``
+        (default) or ``"complex64"`` selecting the screening precision tier.
+        ``batch_stepping`` is execution-only like ``policy``; ``precision``
+        *does* change the numbers, so complex64 results are stamped and kept
+        out of the result store — but the key still lives here because it
+        selects *how* the sweep executes, not *what* physics it describes.
     machine:
         Machine-model section consumed by :mod:`repro.cost` / :mod:`repro.exec`
         (like ``schedule``, it never affects the physics of a single run —
@@ -253,6 +260,16 @@ class RunConfig:
         return self.schedule.get("policy", "fifo")
 
     @property
+    def schedule_batch_stepping(self) -> bool:
+        """Whether lockstep multi-job propagation is enabled (default False)."""
+        return bool(self.schedule.get("batch_stepping", False))
+
+    @property
+    def schedule_precision(self) -> str:
+        """The configured precision tier (default ``"complex128"``)."""
+        return self.schedule.get("precision", "complex128")
+
+    @property
     def machine_name(self) -> str:
         """The configured machine preset (default ``"summit"``)."""
         return self.machine.get("name", "summit")
@@ -266,15 +283,27 @@ class RunConfig:
         _require_positive("run", "time_step_as", self.time_step_as)
         _require_positive("run", "gs_scf_tolerance", self.gs_scf_tolerance)
         _require_mapping("run", "schedule", self.schedule)
-        unknown = sorted(set(self.schedule) - {"policy"})
+        unknown = sorted(set(self.schedule) - {"policy", "batch_stepping", "precision"})
         if unknown:
             raise ConfigError(
-                f"unknown key(s) {unknown} in run.schedule; valid keys: ['policy']"
+                f"unknown key(s) {unknown} in run.schedule; "
+                "valid keys: ['batch_stepping', 'policy', 'precision']"
             )
         policy = self.schedule.get("policy", "fifo")
         if policy not in SCHEDULE_POLICIES:
             raise ConfigError(
                 f"run.schedule.policy must be one of {list(SCHEDULE_POLICIES)}, got {policy!r}"
+            )
+        batch_stepping = self.schedule.get("batch_stepping", False)
+        if not isinstance(batch_stepping, bool):
+            raise ConfigError(
+                f"run.schedule.batch_stepping must be a bool, got {batch_stepping!r}"
+            )
+        precision = self.schedule.get("precision", "complex128")
+        if precision not in ("complex128", "complex64"):
+            raise ConfigError(
+                "run.schedule.precision must be one of ['complex128', 'complex64'], "
+                f"got {precision!r}"
             )
         _require_mapping("run", "machine", self.machine)
         unknown = sorted(set(self.machine) - {"name", "gpus_per_group"})

@@ -14,7 +14,8 @@ from __future__ import annotations
 from .. import __version__ as _repro_version
 from ..analysis import format_table
 from ..constants import attoseconds_to_au
-from ..core.dynamics import TDDFTSimulation, Trajectory
+from ..core.dynamics import BatchedRun, TDDFTSimulation, Trajectory, run_batched
+from ..core.precision import DEFAULT_PRECISION, precision_dtype, resolve_precision
 from ..pw.basis import Wavefunction
 from ..pw.grid import FFTGrid, PlaneWaveBasis, choose_grid_shape
 from ..pw.ground_state import GroundStateResult, GroundStateSolver
@@ -188,6 +189,86 @@ class Session:
         return self._initial_wavefunction
 
     # ------------------------------------------------------------------
+    def _resolve_propagation(
+        self,
+        propagator: str | None = None,
+        time_step_as: float | None = None,
+        n_steps: int | None = None,
+        params: dict | None = None,
+        precision: str | None = None,
+    ) -> dict:
+        """Resolve one propagation request against the config: registry
+        factory, effective params/step settings and the cache key."""
+        cfg = self.config
+        name = cfg.propagator.name if propagator is None else propagator
+        factory = PROPAGATORS.get(name)
+        if params is None:
+            # compare resolved factories, not strings, so registry aliases
+            # (e.g. "pt-cn" for "ptcn") pick up the configured params too
+            configured = factory is PROPAGATORS.get(cfg.propagator.name)
+            params = dict(cfg.propagator.params) if configured else {}
+        dt_as = cfg.run.time_step_as if time_step_as is None else float(time_step_as)
+        steps = cfg.run.n_steps if n_steps is None else int(n_steps)
+        precision = resolve_precision(precision)
+        # keyed by factory identity so aliases share one cache entry
+        key = (
+            factory,
+            dt_as,
+            steps,
+            tuple(sorted((k, repr(v)) for k, v in params.items())),
+            precision,
+        )
+        return {
+            "name": name,
+            "factory": factory,
+            "params": params,
+            "dt_as": dt_as,
+            "steps": steps,
+            "precision": precision,
+            "key": key,
+        }
+
+    def _run_metadata(self, request: dict, scheme) -> dict:
+        """Provenance stamped on a trajectory: the *effective* config of the
+        run (overrides folded in), not the session's base config, so archived
+        trajectories can be reproduced from their own metadata even when a
+        batch driver ran many variants through one shared session."""
+        effective = self.config.with_overrides(
+            {
+                "propagator": {"name": request["name"], "params": dict(request["params"])},
+                "run": {"time_step_as": request["dt_as"], "n_steps": request["steps"]},
+            }
+        )
+        metadata = {
+            "propagator": request["name"],
+            "integrator": scheme.name,
+            "propagator_params": dict(request["params"]),
+            "time_step_as": request["dt_as"],
+            "n_steps": request["steps"],
+            "config": effective.to_dict(),
+            "repro_version": _repro_version,
+        }
+        if request["precision"] != DEFAULT_PRECISION:
+            # stamped only off the default tier: complex128 provenance stays
+            # byte-identical to what stores and goldens already hold
+            metadata["precision"] = request["precision"]
+        return metadata
+
+    def _store_trajectory(self, request: dict, scheme, trajectory: Trajectory) -> None:
+        self._trajectories[request["key"]] = trajectory
+        base = f"{scheme.name} @ {request['dt_as']:g} as"
+        if request["precision"] != DEFAULT_PRECISION:
+            base += f" ({request['precision']})"
+        label, suffix = base, 2
+        while label in self._trajectory_labels.values():
+            label = f"{base} #{suffix}"
+            suffix += 1
+        self._trajectory_labels[request["key"]] = label
+
+    def _initial_state_at(self, precision: str) -> Wavefunction:
+        wavefunction = self.initial_wavefunction()
+        return wavefunction.astype(precision_dtype(precision))
+
     def propagate(
         self,
         propagator: str | None = None,
@@ -195,6 +276,7 @@ class Session:
         time_step_as: float | None = None,
         n_steps: int | None = None,
         params: dict | None = None,
+        precision: str | None = None,
     ) -> Trajectory:
         """Run (or return the cached) propagation.
 
@@ -210,59 +292,97 @@ class Session:
         params:
             Optional propagator keyword arguments overriding the configured
             ones.
+        precision:
+            Precision tier of the orbital algebra: ``"complex128"`` (default)
+            or the opt-in ``"complex64"`` screening tier (see
+            :mod:`repro.core.precision`). Tiers cache separately.
         """
         cfg = self.config
-        name = cfg.propagator.name if propagator is None else propagator
-        factory = PROPAGATORS.get(name)
-        if params is None:
-            # compare resolved factories, not strings, so registry aliases
-            # (e.g. "pt-cn" for "ptcn") pick up the configured params too
-            configured = factory is PROPAGATORS.get(cfg.propagator.name)
-            params = dict(cfg.propagator.params) if configured else {}
-        dt_as = cfg.run.time_step_as if time_step_as is None else float(time_step_as)
-        steps = cfg.run.n_steps if n_steps is None else int(n_steps)
-
-        # keyed by factory identity so aliases share one cache entry
-        key = (factory, dt_as, steps, tuple(sorted((k, repr(v)) for k, v in params.items())))
-        if key not in self._trajectories:
+        request = self._resolve_propagation(propagator, time_step_as, n_steps, params, precision)
+        if request["key"] not in self._trajectories:
             ham = self.hamiltonian
-            scheme = factory(ham, **params)
+            scheme = request["factory"](ham, **request["params"])
             simulation = TDDFTSimulation(
                 ham,
                 scheme,
                 record_energy=cfg.run.record_energy,
                 record_dipole=cfg.run.record_dipole,
             )
-            # stamp the *effective* config of this run (overrides folded in),
-            # not the session's base config, so archived trajectories can be
-            # reproduced from their own metadata even when a batch driver ran
-            # many variants through one shared session
-            effective = cfg.with_overrides(
-                {
-                    "propagator": {"name": name, "params": dict(params)},
-                    "run": {"time_step_as": dt_as, "n_steps": steps},
-                }
-            )
-            metadata = {
-                "propagator": name,
-                "integrator": scheme.name,
-                "propagator_params": dict(params),
-                "time_step_as": dt_as,
-                "n_steps": steps,
-                "config": effective.to_dict(),
-                "repro_version": _repro_version,
-            }
             trajectory = simulation.run(
-                self.initial_wavefunction(), attoseconds_to_au(dt_as), steps, metadata=metadata
+                self._initial_state_at(request["precision"]),
+                attoseconds_to_au(request["dt_as"]),
+                request["steps"],
+                metadata=self._run_metadata(request, scheme),
             )
-            self._trajectories[key] = trajectory
-            base = f"{scheme.name} @ {dt_as:g} as"
-            label, suffix = base, 2
-            while label in self._trajectory_labels.values():
-                label = f"{base} #{suffix}"
-                suffix += 1
-            self._trajectory_labels[key] = label
-        return self._trajectories[key]
+            self._store_trajectory(request, scheme, trajectory)
+        return self._trajectories[request["key"]]
+
+    def propagate_many(
+        self,
+        requests: list[dict],
+        *,
+        precision: str | None = None,
+    ) -> list[Trajectory]:
+        """Run several propagations of this session's system in lockstep.
+
+        Parameters
+        ----------
+        requests:
+            One dict per job with any of the keys ``propagator``,
+            ``time_step_as``, ``n_steps``, ``params``, ``precision`` — the
+            same arguments (and defaulting) as :meth:`propagate`.
+        precision:
+            Default precision tier for requests that don't carry their own.
+
+        All jobs share this session's ground state and basis; each gets its
+        own Hamiltonian clone and propagator so per-job time-dependent state
+        never interferes. Jobs advance through the batched
+        ``step_many``/:func:`~repro.core.dynamics.run_batched` engine —
+        stacked FFTs across jobs — and every resulting trajectory is
+        bit-identical (``complex128``) to what :meth:`propagate` produces for
+        the same request, cached under the same key. Returns the
+        trajectories in request order.
+        """
+        resolved = [
+            self._resolve_propagation(
+                request.get("propagator"),
+                request.get("time_step_as"),
+                request.get("n_steps"),
+                request.get("params"),
+                request.get("precision", precision),
+            )
+            for request in requests
+        ]
+        pending: dict[tuple, dict] = {}
+        for request in resolved:
+            if request["key"] not in self._trajectories and request["key"] not in pending:
+                pending[request["key"]] = request
+        if pending:
+            runs = []
+            schemes = []
+            for request in pending.values():
+                ham = self.hamiltonian.clone()
+                scheme = request["factory"](ham, **request["params"])
+                schemes.append(scheme)
+                simulation = TDDFTSimulation(
+                    ham,
+                    scheme,
+                    record_energy=self.config.run.record_energy,
+                    record_dipole=self.config.run.record_dipole,
+                )
+                runs.append(
+                    BatchedRun(
+                        simulation=simulation,
+                        initial_state=self._initial_state_at(request["precision"]),
+                        time_step=attoseconds_to_au(request["dt_as"]),
+                        n_steps=request["steps"],
+                        metadata=self._run_metadata(request, scheme),
+                    )
+                )
+            trajectories = run_batched(runs)
+            for request, scheme, trajectory in zip(pending.values(), schemes, trajectories):
+                self._store_trajectory(request, scheme, trajectory)
+        return [self._trajectories[request["key"]] for request in resolved]
 
     @property
     def trajectories(self) -> dict[str, Trajectory]:

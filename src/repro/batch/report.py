@@ -74,6 +74,11 @@ class JobResult:
             "final_electron_number": float(trajectory.electron_numbers[-1]),
             "final_dipole": [float(x) for x in trajectory.dipoles[-1]],
         }
+        # stamped only off the default tier, so complex128 summaries (and the
+        # golden exports built from them) are byte-identical to before
+        precision = trajectory.metadata.get("precision")
+        if precision is not None:
+            summary["precision"] = str(precision)
         return cls(
             index=job.index,
             job_id=job.job_id,

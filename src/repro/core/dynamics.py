@@ -22,11 +22,12 @@ import time as _wallclock
 import numpy as np
 
 from ..pw.basis import Wavefunction
-from ..pw.hamiltonian import Hamiltonian
+from ..pw.hamiltonian import EnergyBreakdown, Hamiltonian
+from ..pw.laser import sawtooth_position
 from .observables import dipole_moment, electron_number, energy_drift
 from .propagators.base import Propagator, StepStatistics
 
-__all__ = ["Trajectory", "TDDFTSimulation", "json_default"]
+__all__ = ["Trajectory", "TDDFTSimulation", "BatchedRun", "run_batched", "json_default"]
 
 
 def _atomic_savez(path, **arrays) -> None:
@@ -331,12 +332,244 @@ class TDDFTSimulation:
         )
 
     # ------------------------------------------------------------------
-    def _energy(self, wavefunction: Wavefunction) -> float:
+    def _energy(
+        self,
+        wavefunction: Wavefunction,
+        density: np.ndarray | None = None,
+        v_hartree: np.ndarray | None = None,
+        xc_result=None,
+    ) -> float:
         if not self.record_energy:
             return float("nan")
-        return self.hamiltonian.total_energy(wavefunction)
+        return self.hamiltonian.total_energy(
+            wavefunction, density=density, v_hartree=v_hartree, xc_result=xc_result
+        )
 
-    def _dipole(self, wavefunction: Wavefunction) -> np.ndarray:
+    def _dipole(self, wavefunction: Wavefunction, density: np.ndarray | None = None) -> np.ndarray:
         if not self.record_dipole:
             return np.full(3, np.nan)
-        return dipole_moment(wavefunction)
+        return dipole_moment(wavefunction, density=density)
+
+
+@dataclass
+class BatchedRun:
+    """One job of a batched lockstep propagation (see :func:`run_batched`).
+
+    Mirrors the arguments of :meth:`TDDFTSimulation.run`; the simulation
+    carries the job's own propagator and Hamiltonian (batched jobs must not
+    share mutable Hamiltonian state — use
+    :meth:`~repro.pw.hamiltonian.Hamiltonian.clone`).
+    """
+
+    simulation: TDDFTSimulation
+    initial_state: Wavefunction
+    time_step: float
+    n_steps: int
+    start_time: float = 0.0
+    metadata: dict | None = None
+
+
+def _group_records(
+    sims: list[TDDFTSimulation], wfs: list[Wavefunction]
+) -> tuple[list[float], list[np.ndarray], list[float]]:
+    """Per-job ``(energy, dipole, electron number)`` records for a stepped group.
+
+    The density-functional pieces (Poisson solve, xc, the grid integrals) are
+    evaluated once over the stacked end-of-step densities instead of job by
+    job — only the GEMM-shaped terms (nonlocal, exact exchange) stay per job.
+    Every batched expression reduces each job's contiguous grid slice exactly
+    as the solo observables reduce the whole array, so the recorded floats are
+    bit-identical to :meth:`TDDFTSimulation.run`'s; groups whose jobs do not
+    share a grid/functional (or lack a cached density) fall back to the
+    per-job evaluation.
+    """
+    n = len(sims)
+    hams = [sim.hamiltonian for sim in sims]
+    grid = hams[0].grid
+    xc = hams[0].xc
+    evaluate_many = getattr(xc, "evaluate_many", None)
+    batchable = evaluate_many is not None and all(
+        ham.density is not None and ham.grid is grid and ham.xc is xc for ham in hams
+    )
+    if not batchable:
+        energies = [sims[i]._energy(wfs[i], density=hams[i].density) for i in range(n)]
+        dipoles = [sims[i]._dipole(wfs[i], density=hams[i].density) for i in range(n)]
+        electrons = [electron_number(wfs[i], density=hams[i].density) for i in range(n)]
+        return energies, dipoles, electrons
+
+    rho = np.stack([ham.density for ham in hams])
+    electron_counts = np.real(grid.integrate(rho))
+    electrons = [float(electron_counts[i]) for i in range(n)]
+
+    dipoles: list[np.ndarray] = [np.full(3, np.nan) for _ in range(n)]
+    d_rows = [i for i in range(n) if sims[i].record_dipole]
+    if d_rows:
+        sub = rho[d_rows] if len(d_rows) != n else rho
+        components = []
+        for direction in np.eye(3):
+            position = sawtooth_position(grid, direction)
+            components.append(np.real(grid.integrate(sub * position)))
+        for k, i in enumerate(d_rows):
+            dipoles[i] = np.array([float(c[k]) for c in components])
+
+    energies: list[float] = [float("nan")] * n
+    e_rows = [i for i in range(n) if sims[i].record_energy]
+    if e_rows:
+        sub = rho[e_rows] if len(e_rows) != n else rho
+        # update_potential stored the Hartree potential and the xc energy of
+        # exactly these densities at the end of the step (the consistency
+        # contract of every registered propagator), so the record evaluation
+        # needs no Poisson solve and no xc pass of its own — the stored
+        # arrays are bit-identical to recomputing them here
+        v_hartree = np.stack([hams[i].v_hartree for i in e_rows])
+        xc_energies = [hams[i]._xc_energy for i in e_rows]
+        coeff = np.stack([wfs[i].coefficients for i in e_rows])
+        occ = np.stack([wfs[i].occupations for i in e_rows])
+        kin = np.stack([hams[i].kinetic_diagonal for i in e_rows])
+        kinetic = np.real(
+            np.sum(occ[:, :, None] * (np.abs(coeff) ** 2) * kin[:, None, :], axis=(-2, -1))
+        )
+        e_hartree = 0.5 * np.real(grid.integrate(sub * v_hartree))
+        v_ionic = np.stack([hams[i].v_ionic for i in e_rows])
+        e_external = np.real(grid.integrate(sub * v_ionic))
+        v_laser = np.stack([hams[i]._v_external_t for i in e_rows])
+        e_laser = np.real(grid.integrate(sub * v_laser))
+        for k, i in enumerate(e_rows):
+            ham = hams[i]
+            wf = wfs[i]
+            energies[i] = EnergyBreakdown(
+                kinetic=float(kinetic[k]),
+                external=float(e_external[k]),
+                nonlocal_psp=ham.nonlocal_psp.energy(wf.coefficients, wf.occupations),
+                hartree=float(e_hartree[k]),
+                xc=float(xc_energies[k]),
+                exact_exchange=ham.exchange.energy(wf) if ham.exchange is not None else 0.0,
+                ewald=ham._ewald,
+                laser=float(e_laser[k]),
+            ).total
+    return energies, dipoles, electrons
+
+
+def run_batched(runs: list[BatchedRun]) -> list[Trajectory]:
+    """Propagate several compatible jobs in lockstep with stacked stepping.
+
+    All jobs must share one plane-wave basis (same grid, same structure —
+    i.e. one ground-state group); time steps, step counts, propagators and
+    laser fields may differ per job. Each lockstep iteration groups the
+    still-running jobs by propagator class and advances every group through
+    its ``step_many``, so the FFT-bound work of the whole stack runs as
+    single batched transforms; jobs are peeled off the stack as they reach
+    their own ``n_steps``.
+
+    Returns one :class:`Trajectory` per run, in order, with observables
+    recorded exactly as :meth:`TDDFTSimulation.run` records them — for
+    ``complex128`` jobs the trajectories are bit-identical to solo runs.
+    Per-job ``wall_time`` is the job's share of the lockstep wall clock
+    (each iteration's elapsed time split evenly over the jobs stepped in it).
+    """
+    if not runs:
+        return []
+    basis = runs[0].initial_state.basis
+    for run in runs:
+        if run.n_steps < 1:
+            raise ValueError("n_steps must be >= 1")
+        if run.time_step <= 0:
+            raise ValueError("time_step must be positive")
+        if run.initial_state.basis is not basis and run.initial_state.basis.npw != basis.npw:
+            raise ValueError("batched runs must share one plane-wave basis")
+
+    njobs = len(runs)
+    wavefunctions = []
+    for run in runs:
+        wavefunction = run.initial_state.copy()
+        run.simulation.propagator.prepare(wavefunction, run.start_time)
+        wavefunctions.append(wavefunction)
+
+    current_times = [run.start_time for run in runs]
+    steps_done = [0] * njobs
+    wall_times = [0.0] * njobs
+    records: list[dict] = []
+    statistics: list[list[StepStatistics]] = [[] for _ in runs]
+    # prepare() left every ham.density bit-identical to compute_density(psi_0),
+    # so the initial records run off the stacked densities without a transform
+    energies0, dipoles0, electrons0 = _group_records(
+        [run.simulation for run in runs], wavefunctions
+    )
+    for j, run in enumerate(runs):
+        records.append(
+            {
+                "times": [run.start_time],
+                "energies": [energies0[j]],
+                "dipoles": [dipoles0[j]],
+                "electrons": [electrons0[j]],
+                "scf_iters": [0],
+                "h_apps": [0],
+                "density_errors": [0.0],
+            }
+        )
+
+    active = list(range(njobs))
+    while active:
+        iteration_start = _wallclock.perf_counter()
+        # group the running jobs by propagator class: each class advances as
+        # one stacked step_many call (CN shares PT-CN's batched kernel but is
+        # a distinct class, hence a distinct stack)
+        groups: dict[type, list[int]] = {}
+        for j in active:
+            groups.setdefault(type(runs[j].simulation.propagator), []).append(j)
+        for propagator_cls, members in groups.items():
+            new_wfs, stats = propagator_cls.step_many(
+                [runs[j].simulation.propagator for j in members],
+                [wavefunctions[j] for j in members],
+                [current_times[j] for j in members],
+                [runs[j].time_step for j in members],
+            )
+            for idx, j in enumerate(members):
+                wavefunctions[j] = new_wfs[idx]
+                current_times[j] += runs[j].time_step
+                steps_done[j] += 1
+                statistics[j].append(stats[idx])
+            # every step_many (and the solo-step fallback) ends by rebuilding
+            # the potentials from the accepted state, so ham.density is
+            # bit-identical to compute_density(new_wf): the recorded
+            # observables run off the stacked end-of-step densities — zero
+            # extra orbital transforms, one Poisson solve and one xc pass
+            # for the whole group
+            step_energies, step_dipoles, step_electrons = _group_records(
+                [runs[j].simulation for j in members],
+                [wavefunctions[j] for j in members],
+            )
+            for idx, j in enumerate(members):
+                record = records[j]
+                record["times"].append(current_times[j])
+                record["energies"].append(step_energies[idx])
+                record["dipoles"].append(step_dipoles[idx])
+                record["electrons"].append(step_electrons[idx])
+                record["scf_iters"].append(stats[idx].scf_iterations)
+                record["h_apps"].append(stats[idx].hamiltonian_applications)
+                record["density_errors"].append(stats[idx].density_error)
+        elapsed = _wallclock.perf_counter() - iteration_start
+        share = elapsed / len(active)
+        for j in active:
+            wall_times[j] += share
+        active = [j for j in active if steps_done[j] < runs[j].n_steps]
+
+    trajectories = []
+    for j, run in enumerate(runs):
+        record = records[j]
+        trajectories.append(
+            Trajectory(
+                times=np.asarray(record["times"]),
+                energies=np.asarray(record["energies"]),
+                dipoles=np.asarray(record["dipoles"]),
+                electron_numbers=np.asarray(record["electrons"]),
+                scf_iterations=np.asarray(record["scf_iters"]),
+                hamiltonian_applications=np.asarray(record["h_apps"]),
+                density_errors=np.asarray(record["density_errors"]),
+                wall_time=wall_times[j],
+                final_wavefunction=wavefunctions[j],
+                step_statistics=statistics[j],
+                metadata=copy.deepcopy(run.metadata) if run.metadata else {},
+            )
+        )
+    return trajectories

@@ -31,16 +31,22 @@ __all__ = [
 ]
 
 
-def dipole_moment(wavefunction: Wavefunction, grid: FFTGrid | None = None) -> np.ndarray:
+def dipole_moment(
+    wavefunction: Wavefunction,
+    grid: FFTGrid | None = None,
+    density: np.ndarray | None = None,
+) -> np.ndarray:
     """Electronic dipole moment ``d_k = integral r_k rho(r) dr`` (sawtooth convention).
 
     For periodic cells the position operator is defined through the sawtooth
     coordinate (see :func:`repro.pw.laser.sawtooth_position`); only *changes*
     of the dipole are physically meaningful, which is all the absorption
-    spectrum needs.
+    spectrum needs. ``density`` may carry the precomputed density of
+    ``wavefunction`` so callers that already hold it (the batched record
+    keeping) skip the orbital transform.
     """
     grid = wavefunction.basis.grid if grid is None else grid
-    rho = compute_density(wavefunction, grid)
+    rho = compute_density(wavefunction, grid) if density is None else density
     dipole = np.empty(3)
     for axis, direction in enumerate(np.eye(3)):
         position = sawtooth_position(grid, direction)
@@ -48,10 +54,14 @@ def dipole_moment(wavefunction: Wavefunction, grid: FFTGrid | None = None) -> np
     return dipole
 
 
-def electron_number(wavefunction: Wavefunction, grid: FFTGrid | None = None) -> float:
+def electron_number(
+    wavefunction: Wavefunction,
+    grid: FFTGrid | None = None,
+    density: np.ndarray | None = None,
+) -> float:
     """Total electron number ``integral rho(r) dr`` (norm-conservation check)."""
     grid = wavefunction.basis.grid if grid is None else grid
-    rho = compute_density(wavefunction, grid)
+    rho = compute_density(wavefunction, grid) if density is None else density
     return float(np.real(grid.integrate(rho)))
 
 

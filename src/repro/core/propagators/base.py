@@ -83,6 +83,35 @@ class Propagator(ABC):
         """
 
     # ------------------------------------------------------------------
+    @classmethod
+    def step_many(
+        cls,
+        propagators: "list[Propagator]",
+        wavefunctions: list[Wavefunction],
+        times: list[float],
+        dts: list[float],
+    ) -> tuple[list[Wavefunction], list[StepStatistics]]:
+        """Advance several independent jobs by one step each, in lockstep.
+
+        ``propagators[j]`` (all of class ``cls``, each owning its own
+        Hamiltonian) advances ``wavefunctions[j]`` from ``times[j]`` by
+        ``dts[j]``. Implementations must return, for every job, exactly what
+        ``propagators[j].step(...)`` alone would return — bit-identical
+        coefficients and equal statistics — so that batched execution is an
+        execution detail, never a physics change.
+
+        This default simply loops :meth:`step`; schemes with a profitable
+        batched form (PT-CN, RK4) override it with stacked FFT kernels.
+        """
+        new_wavefunctions: list[Wavefunction] = []
+        statistics: list[StepStatistics] = []
+        for propagator, wavefunction, time, dt in zip(propagators, wavefunctions, times, dts):
+            new_wf, stats = propagator.step(wavefunction, time, dt)
+            new_wavefunctions.append(new_wf)
+            statistics.append(stats)
+        return new_wavefunctions, statistics
+
+    # ------------------------------------------------------------------
     def recommended_time_step(self) -> float:
         """A rough recommended time step in atomic units.
 

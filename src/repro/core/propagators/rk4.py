@@ -14,8 +14,8 @@ from __future__ import annotations
 import numpy as np
 
 from ...pw.basis import Wavefunction
-from ...pw.density import compute_density
 from ...pw.hamiltonian import Hamiltonian
+from ..batching import apply_many, update_potentials_many
 from .base import Propagator, StepStatistics
 
 __all__ = ["RK4Propagator"]
@@ -80,3 +80,107 @@ class RK4Propagator(Propagator):
             orthogonality_error=ortho_err,
         )
         return new_wf, stats
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def step_many(
+        cls,
+        propagators: "list[RK4Propagator]",
+        wavefunctions: list[Wavefunction],
+        times: list[float],
+        dts: list[float],
+    ) -> tuple[list[Wavefunction], list[StepStatistics]]:
+        """Lockstep RK4 steps for a stack of jobs.
+
+        The four stage derivatives are evaluated for the whole stack at once
+        — stage densities, Hartree solves and ``H Psi`` transforms batched
+        across jobs — with every job seeing its own stage times, step size
+        and Hamiltonian state. Per job the result is bit-identical to the
+        solo :meth:`step` (the stage combinations replicate its expressions
+        slice-wise with per-job scalars broadcast over a job axis).
+        """
+        njobs = len(propagators)
+        basis = wavefunctions[0].basis
+        hams = [p.hamiltonian for p in propagators]
+        occs = [wf.occupations for wf in wavefunctions]
+        occ_stack = np.stack(occs)
+        c0 = np.stack([wf.coefficients for wf in wavefunctions])
+        dt_col = np.asarray(dts, dtype=float)[:, None, None]
+        if c0.dtype == np.complex64:  # float64 steps would promote the stages
+            dt_col = dt_col.astype(np.float32)
+
+        sc = [j for j in range(njobs) if propagators[j].self_consistent_stages]
+
+        def derivative(
+            stack: np.ndarray,
+            stage_times: list[float],
+            psi: np.ndarray | None = None,
+            skip_update: bool = False,
+        ) -> np.ndarray:
+            for j, ham in enumerate(hams):
+                ham.set_time(stage_times[j])
+            # one transform feeds both the stage densities and H psi — the
+            # solo path transforms the same coefficients twice (once inside
+            # compute_density, once inside apply); the bits are identical
+            psi_r = stack_real = basis.to_real_space(stack) if psi is None else psi
+            if sc and not skip_update:
+                if len(sc) != njobs:
+                    stack_real = psi_r[sc]
+                update_potentials_many(
+                    [hams[j] for j in sc],
+                    [Wavefunction(basis, stack[j], occs[j]) for j in sc],
+                    psi_real=stack_real,
+                )
+            return -1j * apply_many(hams, stack, psi_real=psi_r)
+
+        # Cross-step cache: the previous step_many call ended by transforming
+        # and potential-updating exactly these coefficient blocks (its
+        # end-of-step consistency update), so the first stage can reuse that
+        # transform — and skip the potential rebuild outright when every
+        # Hamiltonian still holds the density of that update. Identity checks
+        # on the arrays keep this bit-exact (same objects, same functions).
+        cache = getattr(propagators[0], "_lockstep_cache", None)
+        if (
+            cache is not None
+            and len(cache["coeffs"]) == njobs
+            and all(cache["coeffs"][j] is wavefunctions[j].coefficients for j in range(njobs))
+        ):
+            fresh = all(hams[j].density is cache["densities"][j] for j in sc)
+            k1 = derivative(c0, list(times), psi=cache["psi"], skip_update=fresh)
+        else:
+            k1 = derivative(c0, list(times))
+        k2 = derivative(c0 + 0.5 * dt_col * k1, [t + 0.5 * dt for t, dt in zip(times, dts)])
+        k3 = derivative(c0 + 0.5 * dt_col * k2, [t + 0.5 * dt for t, dt in zip(times, dts)])
+        k4 = derivative(c0 + dt_col * k3, [t + dt for t, dt in zip(times, dts)])
+
+        c_new = c0 + (dt_col / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
+        if c_new.dtype != c0.dtype:  # complex64 tier: dt_col is float64
+            c_new = c_new.astype(c0.dtype)
+        new_wfs = [Wavefunction(basis, c_new[j], occs[j]) for j in range(njobs)]
+
+        # leave every Hamiltonian consistent with its end-of-step state; the
+        # transform is kept so the next lockstep call's first stage can skip it
+        for j, ham in enumerate(hams):
+            ham.set_time(times[j] + dts[j])
+        psi_new = basis.to_real_space(c_new)
+        update_potentials_many(hams, new_wfs, psi_real=psi_new)
+        propagators[0]._lockstep_cache = {
+            "coeffs": [wf.coefficients for wf in new_wfs],
+            "psi": psi_new,
+            "densities": [ham.density for ham in hams],
+        }
+
+        statistics = []
+        for j in range(njobs):
+            overlap = new_wfs[j].overlap()
+            ortho_err = float(np.max(np.abs(overlap - np.eye(new_wfs[j].nbands))))
+            statistics.append(
+                StepStatistics(
+                    scf_iterations=0,
+                    hamiltonian_applications=4,
+                    density_error=float("nan"),
+                    converged=True,
+                    orthogonality_error=ortho_err,
+                )
+            )
+        return new_wfs, statistics

@@ -42,8 +42,10 @@ from ..api.session import Session
 from ..batch.checkpoint import CheckpointStore
 from ..batch.report import JobResult
 from ..core.dynamics import json_default
+from ..core.precision import resolve_precision
 from ..cost.placement import NodePlacement
 from ..parallel.comm import SimCommunicator
+from ..pw.fft import configure_for_pool_worker
 from .scheduler import ScheduledGroup
 
 __all__ = [
@@ -62,6 +64,8 @@ def execute_group(
     session: Session | None = None,
     share_ground_states: bool = False,
     store=None,
+    batch_stepping: bool = False,
+    precision: str = "complex128",
 ) -> list[JobResult]:
     """Run one ground-state group of jobs through a shared session.
 
@@ -80,15 +84,54 @@ def execute_group(
     campaigns and service tenants share one content-addressed store —
     otherwise by a per-directory
     :class:`~repro.batch.CheckpointStore` over ``checkpoint_dir``.
+
+    With ``batch_stepping`` the group's still-uncached jobs are advanced in
+    lockstep through :meth:`~repro.api.Session.propagate_many` (stacked FFTs
+    across jobs) before the per-job loop below serves them from the session's
+    trajectory cache — checkpoint, error and ground-state semantics are the
+    per-job loop's, and ``complex128`` physics is bit-identical to the
+    unbatched path. ``precision="complex64"`` selects the screening tier:
+    those results are stamped in their summaries and **never** loaded from or
+    saved to the result store (ground-state sharing still works — the SCF is
+    double precision either way).
     """
     if store is None and checkpoint_dir is not None:
         store = CheckpointStore(checkpoint_dir)
     gs_store = store if (share_ground_states and store is not None) else None
+    # the store only ever holds/serves double-precision physics
+    job_store = store if precision == "complex128" else None
     gs_persisted = False
+    if batch_stepping:
+        pending = [job for job in jobs if job_store is None or job_store.load(job) is None]
+        if len(pending) > 1:
+            if session is None:
+                session = Session(jobs[0].config)
+            if gs_store is not None and not session.ground_state_ready:
+                shared = gs_store.load_ground_state(pending[0].group_key, basis=session.basis)
+                if shared is not None:
+                    session.adopt_ground_state(shared)
+                    gs_persisted = True  # already on disk, no need to rewrite it
+            try:
+                session.propagate_many(
+                    [
+                        {
+                            "propagator": job.config.propagator.name,
+                            "time_step_as": job.config.run.time_step_as,
+                            "n_steps": job.config.run.n_steps,
+                            "params": dict(job.config.propagator.params),
+                        }
+                        for job in pending
+                    ],
+                    precision=precision,
+                )
+            except Exception:
+                # fall through: the per-job loop below re-runs solo, so the
+                # failure is attributed to (and recorded for) the right job
+                pass
     results: list[JobResult] = []
     for job in jobs:
-        if store is not None:
-            cached = store.load(job)
+        if job_store is not None:
+            cached = job_store.load(job)
             if cached is not None:
                 results.append(cached)
                 continue
@@ -106,6 +149,7 @@ def execute_group(
                 time_step_as=run_cfg.time_step_as,
                 n_steps=run_cfg.n_steps,
                 params=dict(job.config.propagator.params),
+                precision=precision,
             )
         except Exception as exc:
             if gs_store is not None and not gs_persisted and session.ground_state_ready:
@@ -119,9 +163,9 @@ def execute_group(
         if gs_store is not None and not gs_persisted:
             gs_persisted = _persist_ground_state(gs_store, job.group_key, session)
         result = JobResult.from_trajectory(job, trajectory)
-        if store is not None:
+        if job_store is not None:
             try:
-                store.save(result)
+                job_store.save(result)
             except Exception as exc:
                 # a persistence failure (full disk, unwritable dir) must not
                 # discard finished physics or abort the sweep: the job stays
@@ -152,15 +196,21 @@ def _run_group_worker(payload) -> list[dict]:
 
     Results cross the process boundary in dict form (observables only) to
     avoid pickling wavefunctions and grids; checkpoints written inside the
-    worker keep the full trajectories on disk.
+    worker keep the full trajectories on disk. FFT threading is capped to one
+    worker first — the pool already owns the cores, and oversubscribing
+    ``workers * fft_threads`` ways degrades every group.
     """
-    jobs, checkpoint_dir, raise_on_error, share_ground_states, store = payload
+    configure_for_pool_worker()
+    (jobs, checkpoint_dir, raise_on_error, share_ground_states, store,
+     batch_stepping, precision) = payload
     results = execute_group(
         jobs,
         checkpoint_dir,
         raise_on_error,
         share_ground_states=share_ground_states,
         store=store,
+        batch_stepping=batch_stepping,
+        precision=precision,
     )
     return [result.to_dict() for result in results]
 
@@ -186,15 +236,24 @@ class ExecutionBackend(ABC):
     store:
         A shared :class:`~repro.store.ResultStore` serving/receiving results;
         takes precedence over ``checkpoint_dir``.
+    batch_stepping:
+        Advance each group's uncached jobs in lockstep (see
+        :func:`execute_group`).
+    precision:
+        Propagation precision tier (``"complex128"`` or ``"complex64"``,
+        see :mod:`repro.core.precision`).
     """
 
     #: registry name of the backend (the ``BatchRunner(backend=...)`` string)
     name = "backend"
 
     def __init__(self, *, checkpoint_dir=None, raise_on_error: bool = False,
-                 share_ground_states: bool = False, store=None):
+                 share_ground_states: bool = False, store=None,
+                 batch_stepping: bool = False, precision: str = "complex128"):
         self.checkpoint_dir = checkpoint_dir
         self.store = store
+        self.batch_stepping = bool(batch_stepping)
+        self.precision = resolve_precision(precision)
         self.raise_on_error = bool(raise_on_error)
         self.share_ground_states = bool(share_ground_states)
         self.groups: list[ScheduledGroup] = []
@@ -287,12 +346,15 @@ class SerialBackend(ExecutionBackend):
     name = "serial"
 
     def __init__(self, *, checkpoint_dir=None, raise_on_error: bool = False,
-                 share_ground_states: bool = False, store=None, sessions: dict | None = None):
+                 share_ground_states: bool = False, store=None, sessions: dict | None = None,
+                 batch_stepping: bool = False, precision: str = "complex128"):
         super().__init__(
             checkpoint_dir=checkpoint_dir,
             raise_on_error=raise_on_error,
             share_ground_states=share_ground_states,
             store=store,
+            batch_stepping=batch_stepping,
+            precision=precision,
         )
         self.sessions = {} if sessions is None else sessions
 
@@ -309,6 +371,8 @@ class SerialBackend(ExecutionBackend):
                     session=self.sessions.get(group.key),
                     share_ground_states=self.share_ground_states,
                     store=self.store,
+                    batch_stepping=self.batch_stepping,
+                    precision=self.precision,
                 )
             )
             self._record_group_drained(group)
@@ -330,12 +394,15 @@ class ProcessPoolBackend(ExecutionBackend):
 
     def __init__(self, *, checkpoint_dir=None, raise_on_error: bool = False,
                  share_ground_states: bool = False, store=None, max_workers: int | None = None,
-                 sessions: dict | None = None):
+                 sessions: dict | None = None, batch_stepping: bool = False,
+                 precision: str = "complex128"):
         super().__init__(
             checkpoint_dir=checkpoint_dir,
             raise_on_error=raise_on_error,
             share_ground_states=share_ground_states,
             store=store,
+            batch_stepping=batch_stepping,
+            precision=precision,
         )
         self.max_workers = max_workers
         self.sessions = {} if sessions is None else sessions
@@ -349,6 +416,8 @@ class ProcessPoolBackend(ExecutionBackend):
             share_ground_states=self.share_ground_states,
             store=self.store,
             sessions=self.sessions,
+            batch_stepping=self.batch_stepping,
+            precision=self.precision,
         )
         fallback._cancelled = self._cancelled
         self._fallback = fallback
@@ -392,7 +461,8 @@ class ProcessPoolBackend(ExecutionBackend):
                         executor.submit(
                             _run_group_worker,
                             (group.jobs, self.checkpoint_dir, self.raise_on_error,
-                             self.share_ground_states, self.store),
+                             self.share_ground_states, self.store,
+                             self.batch_stepping, self.precision),
                         ),
                     )
                 )
@@ -445,12 +515,15 @@ class DistributedBackend(ExecutionBackend):
 
     def __init__(self, *, ranks: int = 4, checkpoint_dir=None, raise_on_error: bool = False,
                  share_ground_states: bool = False, store=None, comm: SimCommunicator | None = None,
-                 placement: NodePlacement | None = None):
+                 placement: NodePlacement | None = None, batch_stepping: bool = False,
+                 precision: str = "complex128"):
         super().__init__(
             checkpoint_dir=checkpoint_dir,
             raise_on_error=raise_on_error,
             share_ground_states=share_ground_states,
             store=store,
+            batch_stepping=batch_stepping,
+            precision=precision,
         )
         if comm is None and ranks < 1:
             raise ValueError(
@@ -534,6 +607,8 @@ class DistributedBackend(ExecutionBackend):
                 self.raise_on_error,
                 share_ground_states=self.share_ground_states,
                 store=self.store,
+                batch_stepping=self.batch_stepping,
+                precision=self.precision,
             )
 
             # results travel rank -> root as observables-only dicts

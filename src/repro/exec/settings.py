@@ -35,6 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass, fields
 
 from ..api.config import SCHEDULE_POLICIES
+from ..core.precision import resolve_precision
 from ..cost.model import MachineCostModel, resolve_machine
 from ..cost.placement import NodePlacement
 
@@ -66,6 +67,17 @@ class ExecutionSettings:
         Modeled GPUs each ground-state group occupies on the machine.
     max_workers:
         Process-pool size (process backend only; ``None`` = CPU count).
+    batch_stepping:
+        Advance the jobs of a ground-state group in lockstep through the
+        batched ``step_many`` engine (stacked FFTs across jobs) instead of
+        one job at a time. Execution-only: ``complex128`` physics is
+        bit-identical either way.
+    precision:
+        Propagation precision tier, ``"complex128"`` (default) or the
+        opt-in ``"complex64"`` screening tier (see
+        :mod:`repro.core.precision`). Unlike every other field this changes
+        the numbers — complex64 results are stamped in provenance and never
+        written to or served from the result store.
     """
 
     backend: str = "serial"
@@ -74,6 +86,8 @@ class ExecutionSettings:
     machine: str | None = "summit"
     gpus_per_group: int = 1
     max_workers: int | None = None
+    batch_stepping: bool = False
+    precision: str = "complex128"
 
     def __post_init__(self) -> None:
         if self.backend not in BACKEND_NAMES:
@@ -102,6 +116,9 @@ class ExecutionSettings:
             resolve_machine(self.machine)  # raises listing the presets
         if self.max_workers is not None and self.max_workers < 1:
             raise ValueError(f"max_workers must be >= 1 or None, got {self.max_workers}")
+        if not isinstance(self.batch_stepping, bool):
+            raise ValueError(f"batch_stepping must be a bool, got {self.batch_stepping!r}")
+        object.__setattr__(self, "precision", resolve_precision(self.precision))
 
     # ------------------------------------------------------------------
     # Construction: from configs, with explicit overrides layered on top
@@ -111,10 +128,13 @@ class ExecutionSettings:
         """The settings a config's ``run.schedule`` / ``run.machine`` sections
         describe, with any keyword overrides applied on top."""
         machine = dict(getattr(config.run, "machine", {}) or {})
+        schedule = dict(getattr(config.run, "schedule", {}) or {})
         resolved = {
             "schedule": config.run.schedule_policy,
             "machine": machine.get("name", "summit"),
             "gpus_per_group": int(machine.get("gpus_per_group", 1)),
+            "batch_stepping": bool(schedule.get("batch_stepping", False)),
+            "precision": schedule.get("precision", "complex128"),
         }
         resolved.update({k: v for k, v in overrides.items() if v is not None})
         return cls(**resolved)
@@ -164,7 +184,9 @@ class ExecutionSettings:
         """The :class:`~repro.exec.Scheduler` these settings describe."""
         from .scheduler import Scheduler  # deferred: scheduler imports this module's peers
 
-        return Scheduler(self.schedule, machine=self.machine_model())
+        return Scheduler(
+            self.schedule, machine=self.machine_model(), batch_stepping=self.batch_stepping
+        )
 
     # ------------------------------------------------------------------
     # Provenance: stamping the chosen settings back into configs
@@ -181,7 +203,12 @@ class ExecutionSettings:
         """
         from ..batch.sweep import SweepSpec  # deferred: batch imports this module
 
-        overrides = {"run.schedule": {"policy": self.schedule}}
+        schedule_section = {"policy": self.schedule}
+        if self.batch_stepping:
+            schedule_section["batch_stepping"] = True
+        if self.precision != "complex128":
+            schedule_section["precision"] = self.precision
+        overrides = {"run.schedule": schedule_section}
         if self.machine is not None:
             overrides["run.machine"] = {
                 "name": self.machine,

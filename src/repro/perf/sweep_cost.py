@@ -21,6 +21,7 @@ from __future__ import annotations
 from ..machine.gpu import fft_flops
 
 __all__ = [
+    "BATCH_STEPPING_EFFICIENCY",
     "DEFAULT_APPLICATIONS_PER_STEP",
     "NOMINAL_IMPLICIT_SCF_ITERATIONS",
     "applications_per_step",
@@ -39,6 +40,13 @@ NOMINAL_IMPLICIT_SCF_ITERATIONS = 8.0
 #: fallback Hamiltonian applications per step for unknown (user-registered)
 #: propagators — between explicit RK4 (4) and a converging implicit solve
 DEFAULT_APPLICATIONS_PER_STEP = 8.0
+
+#: fraction of a job's propagation cost that lockstep batched stepping
+#: amortizes away in the infinite-width limit (measured: stacking the
+#: FFT-bound transforms of a group roughly halves per-step time at width 4+
+#: — RK4 2.4-2.7x at widths 2-8 on the silicon reference,
+#: see ``benchmarks/results/BENCH_batchstep.json``)
+BATCH_STEPPING_EFFICIENCY = 0.5
 
 #: nominal Davidson H-applications per outer ground-state SCF iteration
 _DAVIDSON_APPLICATIONS_PER_ITERATION = 6.0
@@ -133,14 +141,23 @@ def predict_scf_cost(config) -> float:
     return iterations * _DAVIDSON_APPLICATIONS_PER_ITERATION * per_apply
 
 
-def predict_group_cost(configs) -> float:
+def predict_group_cost(configs, batch_stepping: bool = False) -> float:
     """Relative cost of one ground-state group: one shared SCF + all jobs.
 
     ``configs`` are the expanded :class:`~repro.api.SimulationConfig`\\ s of
     the group's jobs (they share structure/basis/XC by construction, so the
     SCF term is computed from the first one).
+
+    With ``batch_stepping`` the propagation term is discounted by the
+    lockstep amortization: a group of ``n`` jobs stepping together saves
+    :data:`BATCH_STEPPING_EFFICIENCY` of the per-job cost scaled by
+    ``(n - 1) / n`` — nothing at width 1, approaching the full factor for
+    wide groups. The shared-SCF term is unaffected (it runs once either way).
     """
     configs = list(configs)
     if not configs:
         return 0.0
-    return predict_scf_cost(configs[0]) + sum(predict_job_cost(c) for c in configs)
+    propagation = sum(predict_job_cost(c) for c in configs)
+    if batch_stepping and len(configs) > 1:
+        propagation *= 1.0 - BATCH_STEPPING_EFFICIENCY * (len(configs) - 1) / len(configs)
+    return predict_scf_cost(configs[0]) + propagation

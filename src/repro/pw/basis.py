@@ -29,6 +29,12 @@ class Wavefunction:
     occupations:
         Occupation numbers per band. Defaults to 2 (spin-degenerate doubly
         occupied bands, as for the silicon systems of the paper).
+
+    Notes
+    -----
+    Coefficients are stored in ``complex128`` except when the caller passes
+    ``complex64``, which is preserved — the opt-in single-precision screening
+    tier (see :meth:`astype`). Everything else is promoted to double.
     """
 
     def __init__(
@@ -37,7 +43,9 @@ class Wavefunction:
         coefficients: np.ndarray,
         occupations: np.ndarray | None = None,
     ):
-        coefficients = np.asarray(coefficients, dtype=np.complex128)
+        coefficients = np.asarray(coefficients)
+        if coefficients.dtype != np.complex64:
+            coefficients = np.asarray(coefficients, dtype=np.complex128)
         if coefficients.ndim != 2:
             raise ValueError(
                 f"coefficients must be 2D (nbands, npw), got shape {coefficients.shape}"
@@ -72,9 +80,27 @@ class Wavefunction:
         """Number of plane waves per band (paper notation: N_G)."""
         return self.coefficients.shape[1]
 
+    @property
+    def precision(self) -> str:
+        """The precision tier of the stored coefficients (dtype name)."""
+        return self.coefficients.dtype.name
+
     def copy(self) -> "Wavefunction":
         """Deep copy of the coefficients (basis and occupations are shared)."""
         return Wavefunction(self.basis, self.coefficients.copy(), self.occupations)
+
+    def astype(self, dtype) -> "Wavefunction":
+        """The same orbitals stored at another precision tier.
+
+        Returns ``self`` unchanged when the dtype already matches; otherwise a
+        new wavefunction with cast coefficients (basis/occupations shared).
+        """
+        dtype = np.dtype(dtype)
+        if dtype not in (np.dtype(np.complex64), np.dtype(np.complex128)):
+            raise ValueError(f"wavefunction dtype must be complex64 or complex128, got {dtype}")
+        if self.coefficients.dtype == dtype:
+            return self
+        return Wavefunction(self.basis, self.coefficients.astype(dtype), self.occupations)
 
     # ------------------------------------------------------------------
     # Linear algebra
@@ -109,7 +135,7 @@ class Wavefunction:
         ``Psi U``; with our row storage the result rows are
         ``sum_i U[i, j] psi_i`` for output band ``j``.
         """
-        matrix = np.asarray(matrix, dtype=np.complex128)
+        matrix = np.asarray(matrix, dtype=self.coefficients.dtype)
         if matrix.shape != (self.nbands, self.nbands):
             raise ValueError(
                 f"rotation matrix must be ({self.nbands}, {self.nbands}), got {matrix.shape}"

@@ -134,11 +134,13 @@ class ExchangeOperator:
         ndarray
             ``V_X Psi`` in the same representation.
         """
+        coefficients = np.asarray(coefficients)
+        if coefficients.dtype != np.complex64:  # complex64 tier stays single precision
+            coefficients = np.asarray(coefficients, dtype=np.complex128)
         if self.mixing_fraction == 0.0:
-            return np.zeros_like(np.asarray(coefficients, dtype=np.complex128))
+            return np.zeros_like(coefficients)
         if self._orbitals_real is None or self._occupations is None:
             raise RuntimeError("call set_orbitals() before apply()")
-        coefficients = np.asarray(coefficients, dtype=np.complex128)
         if coefficients.ndim == 1:
             coefficients = coefficients[None, :]
         target_real = self.basis.to_real_space(coefficients)  # (nb, n1, n2, n3)
@@ -151,7 +153,9 @@ class ExchangeOperator:
         # is occ/2.
         weights = occ / 2.0
         for i in range(self._orbitals_real.shape[0]):
-            w = weights[i]
+            # python-float weight: an np.float64 scalar would promote the
+            # complex64 tier's accumulation to double
+            w = float(weights[i])
             if w == 0.0:
                 continue
             psi_i = self._orbitals_real[i]

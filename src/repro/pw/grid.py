@@ -25,6 +25,7 @@ from functools import cached_property
 
 import numpy as np
 
+from .fft import get_plan, plan_dtype
 from .lattice import Cell
 
 __all__ = ["FFTGrid", "PlaneWaveBasis", "choose_grid_shape"]
@@ -108,10 +109,20 @@ class FFTGrid:
         n1, n2, n3 = self.shape
         return n1 * n2 * n3
 
-    @property
+    @cached_property
     def volume_element(self) -> float:
         """Real-space integration weight ``V / N`` (Bohr^3)."""
         return self.cell.volume / self.size
+
+    @cached_property
+    def _real_scale(self) -> float:
+        """Cached ``N / sqrt(V)`` factor of :meth:`to_real`."""
+        return self.size / float(np.sqrt(self.cell.volume))
+
+    @cached_property
+    def _fourier_scale(self) -> float:
+        """Cached ``sqrt(V) / N`` factor of :meth:`to_fourier`."""
+        return float(np.sqrt(self.cell.volume)) / self.size
 
     # ------------------------------------------------------------------
     # Real-space points and G-vectors
@@ -155,25 +166,43 @@ class FFTGrid:
         """Transform wavefunction coefficients on the full mesh to real space.
 
         ``psi(r_j) = N / sqrt(V) * ifftn(C)[j]`` with the convention in the
-        class docstring. Broadcasts over leading axes (band index).
+        class docstring. Broadcasts over leading axes (band and/or job index)
+        through one cached-plan call; ``complex64`` inputs stay single
+        precision.
         """
         coeff_grid = np.asarray(coeff_grid)
-        scale = self.size / np.sqrt(self.cell.volume)
-        return np.fft.ifftn(coeff_grid, axes=(-3, -2, -1)) * scale
+        plan = get_plan(self, plan_dtype(coeff_grid.dtype))
+        out = plan.ifftn(coeff_grid)
+        out *= self._real_scale  # in-place: the transform output is owned here
+        return out
 
-    def to_fourier(self, psi_real: np.ndarray) -> np.ndarray:
-        """Inverse of :meth:`to_real`: real-space orbital values to coefficients."""
+    def to_fourier(self, psi_real: np.ndarray, overwrite: bool = False) -> np.ndarray:
+        """Inverse of :meth:`to_real`: real-space orbital values to coefficients.
+
+        ``overwrite=True`` allows ``psi_real`` to be destroyed (pass only for
+        temporaries); the returned coefficients are bit-identical either way.
+        """
         psi_real = np.asarray(psi_real)
-        scale = np.sqrt(self.cell.volume) / self.size
-        return np.fft.fftn(psi_real, axes=(-3, -2, -1)) * scale
+        plan = get_plan(self, plan_dtype(psi_real.dtype))
+        out = plan.fftn(psi_real, overwrite=overwrite)
+        out *= self._fourier_scale
+        return out
 
     def density_to_fourier(self, rho_real: np.ndarray) -> np.ndarray:
         """Fourier components ``rho~(G)`` of a real-space density."""
-        return np.fft.fftn(np.asarray(rho_real), axes=(-3, -2, -1)) / self.size
+        rho_real = np.asarray(rho_real)
+        plan = get_plan(self, plan_dtype(rho_real.dtype))
+        out = plan.fftn(rho_real)
+        out /= self.size
+        return out
 
     def density_to_real(self, rho_g: np.ndarray) -> np.ndarray:
         """Real-space density from Fourier components ``rho~(G)``."""
-        return np.fft.ifftn(np.asarray(rho_g), axes=(-3, -2, -1)) * self.size
+        rho_g = np.asarray(rho_g)
+        plan = get_plan(self, plan_dtype(rho_g.dtype))
+        out = plan.ifftn(rho_g)
+        out *= self.size
+        return out
 
     # ------------------------------------------------------------------
     # Integration helpers
@@ -275,9 +304,26 @@ class PlaneWaveBasis:
                 f"last axis must have length npw={self.npw}, got {coeffs.shape[-1]}"
             )
         lead = coeffs.shape[:-1]
-        out = np.zeros(lead + (self.grid.size,), dtype=np.complex128)
+        out = np.zeros(lead + (self.grid.size,), dtype=plan_dtype(coeffs.dtype))
         out[..., self._indices] = coeffs
         return out.reshape(lead + self.grid.shape)
+
+    def _to_grid_workspace(self, coeffs: np.ndarray) -> np.ndarray:
+        """Scatter onto a plan-owned workspace instead of a fresh allocation.
+
+        Sound to reuse because this basis always writes the same sphere
+        positions (``fill_indices`` keys the workspace to this index set) and
+        every other mesh position stays zero from the initial allocation. The
+        returned array is scratch: valid only until the next call with the
+        same leading shape, so only :meth:`to_real_space` — whose FFT
+        immediately copies out of it — may use this path.
+        """
+        dtype = plan_dtype(coeffs.dtype)
+        plan = get_plan(self.grid, dtype)
+        lead = coeffs.shape[:-1]
+        flat = plan.workspace(lead, fill_indices=self._indices)
+        flat[..., self._indices] = coeffs
+        return flat.reshape(lead + self.grid.shape)
 
     def from_grid(self, grid_values: np.ndarray) -> np.ndarray:
         """Gather full-mesh Fourier coefficients back to sphere storage."""
@@ -291,11 +337,20 @@ class PlaneWaveBasis:
     # ------------------------------------------------------------------
     def to_real_space(self, coeffs: np.ndarray) -> np.ndarray:
         """Real-space orbital values from sphere coefficients."""
-        return self.grid.to_real(self.to_grid(coeffs))
+        coeffs = np.asarray(coeffs)
+        if coeffs.shape[-1] != self.npw:
+            raise ValueError(
+                f"last axis must have length npw={self.npw}, got {coeffs.shape[-1]}"
+            )
+        return self.grid.to_real(self._to_grid_workspace(coeffs))
 
-    def from_real_space(self, psi_real: np.ndarray) -> np.ndarray:
-        """Sphere coefficients from real-space orbital values (low-pass projects)."""
-        return self.from_grid(self.grid.to_fourier(psi_real))
+    def from_real_space(self, psi_real: np.ndarray, overwrite: bool = False) -> np.ndarray:
+        """Sphere coefficients from real-space orbital values (low-pass projects).
+
+        ``overwrite=True`` allows ``psi_real`` to be used as FFT scratch; pass
+        it only for arrays the caller discards (e.g. a ``V psi`` product).
+        """
+        return self.from_grid(self.grid.to_fourier(psi_real, overwrite=overwrite))
 
     def random_coefficients(
         self, nbands: int, rng: np.random.Generator | None = None

@@ -156,12 +156,66 @@ class Hamiltonian:
         self._xc_energy = 0.0
         self.time = 0.0
         self._v_external_t = np.zeros(self.grid.shape)
+        self._v_local: np.ndarray | None = None
 
         self._ewald = ewald_energy(
             self.grid.cell,
             structure.positions,
             structure.valence_charges,
         )
+
+    # ------------------------------------------------------------------
+    # Cloning (batched multi-job stepping)
+    # ------------------------------------------------------------------
+    def clone(self) -> "Hamiltonian":
+        """An independent Hamiltonian sharing every immutable ingredient.
+
+        The expensive, structure-determined pieces — ionic potential,
+        nonlocal projectors, kinetic diagonal, Ewald energy — are shared by
+        reference; only the mutable SCF state (density, potentials, time,
+        exchange orbitals) is fresh. This is what lets a batched group give
+        every job its own time-dependent state without re-paying the
+        structure setup per job.
+        """
+        twin = object.__new__(Hamiltonian)
+        twin.basis = self.basis
+        twin.grid = self.grid
+        twin.structure = self.structure
+        twin.hybrid_mixing = self.hybrid_mixing
+        twin.external_field = self.external_field
+        twin.counters = HamiltonianCounters()
+        twin._local_builder = self._local_builder
+        twin.v_ionic = self.v_ionic
+        twin.nonlocal_psp = self.nonlocal_psp
+        twin.xc = self.xc
+        if self.exchange is not None:
+            twin.exchange = ExchangeOperator(
+                self.basis,
+                mixing_fraction=self.exchange.mixing_fraction,
+                screening_length=self.exchange.screening_length,
+                kernel=self.exchange.kernel,
+            )
+        else:
+            twin.exchange = None
+        twin.kinetic_diagonal = self.kinetic_diagonal
+        twin.density = None
+        twin.v_hartree = np.zeros(self.grid.shape)
+        twin.v_xc = np.zeros(self.grid.shape)
+        twin._xc_energy = 0.0
+        twin.time = 0.0
+        twin._v_external_t = np.zeros(self.grid.shape)
+        twin._v_local = None
+        twin._ewald = self._ewald
+        return twin
+
+    @property
+    def _kinetic_single(self) -> np.ndarray:
+        """``float32`` kinetic diagonal for the complex64 tier (cached)."""
+        cached = getattr(self, "_kinetic_f32", None)
+        if cached is None:
+            cached = self.kinetic_diagonal.astype(np.float32)
+            self._kinetic_f32 = cached
+        return cached
 
     # ------------------------------------------------------------------
     # State updates
@@ -176,31 +230,39 @@ class Hamiltonian:
         self.time = float(time)
         if self.external_field is not None:
             self._v_external_t = np.asarray(self.external_field(self.time), dtype=float)
+            self._v_local = None
             if self._v_external_t.shape != self.grid.shape:
                 raise ValueError(
                     "external_field must return an array matching the grid shape"
                 )
-        else:
-            self._v_external_t = np.zeros(self.grid.shape)
+        # without a field the zero potential from __init__/clone() is kept;
+        # reallocating it every step would churn a grid-sized array per call
 
     def update_potential(
         self,
         wavefunction: Wavefunction,
         density: np.ndarray | None = None,
         update_exchange: bool = True,
+        v_hartree: np.ndarray | None = None,
+        xc_result: "XCResult | None" = None,
     ) -> np.ndarray:
         """Recompute ``V_Hxc`` (and the exchange orbitals) from a wavefunction.
 
         This is Alg. 1 line 5 of the paper ("Update the potential and the
-        Hamiltonian H_f"). Returns the density used.
+        Hamiltonian H_f"). Returns the density used. ``density``, ``v_hartree``
+        and ``xc_result`` may be passed precomputed — the batched stepping
+        engine evaluates all three for a whole job stack at once and hands
+        each Hamiltonian its slice.
         """
         if density is None:
             density = compute_density(wavefunction, self.grid)
         self.density = density
-        self.v_hartree = hartree_potential(self.grid, density)
-        xc_result = self.xc.evaluate(density, self.grid.volume_element)
+        self.v_hartree = hartree_potential(self.grid, density) if v_hartree is None else v_hartree
+        if xc_result is None:
+            xc_result = self.xc.evaluate(density, self.grid.volume_element)
         self.v_xc = xc_result.potential
         self._xc_energy = xc_result.energy
+        self._v_local = None
         if self.exchange is not None and update_exchange:
             self.exchange.set_orbitals(wavefunction)
             self.counters.fock_applications += 0  # orbitals update is not an application
@@ -212,8 +274,17 @@ class Hamiltonian:
     # ------------------------------------------------------------------
     @property
     def local_potential(self) -> np.ndarray:
-        """Total local potential ``V_ion + V_H + V_xc + V_laser(t)`` on the grid."""
-        return self.v_ionic + self.v_hartree + self.v_xc + self._v_external_t
+        """Total local potential ``V_ion + V_H + V_xc + V_laser(t)`` on the grid.
+
+        The assembled sum is cached between potential/field updates — the
+        propagators read it once per Hamiltonian application, which would
+        otherwise re-add the four grids on every access.
+        """
+        v = self._v_local
+        if v is None:
+            v = self.v_ionic + self.v_hartree + self.v_xc + self._v_external_t
+            self._v_local = v
+        return v
 
     def apply(self, coefficients: np.ndarray, include_exchange: bool = True) -> np.ndarray:
         """Evaluate ``H Psi`` for a block of plane-wave coefficients.
@@ -226,19 +297,28 @@ class Hamiltonian:
             If False, skip the Fock exchange term (used by semi-local
             preconditioners and by the ACE-style extensions).
         """
-        coefficients = np.asarray(coefficients, dtype=np.complex128)
+        coefficients = np.asarray(coefficients)
+        if coefficients.dtype != np.complex64:  # complex64 tier stays single precision
+            coefficients = np.asarray(coefficients, dtype=np.complex128)
         single = coefficients.ndim == 1
         if single:
             coefficients = coefficients[None, :]
         self.counters.apply_calls += 1
 
-        # kinetic: diagonal in G space
-        out = coefficients * self.kinetic_diagonal[None, :]
-
-        # local potential: FFT to real space, multiply, FFT back
-        psi_real = self.basis.to_real_space(coefficients)
+        kinetic = self.kinetic_diagonal
         v_local = self.local_potential
-        out += self.basis.from_real_space(v_local[None, ...] * psi_real)
+        if coefficients.dtype == np.complex64:
+            # float64 multipliers would promote the whole product back to double
+            kinetic = self._kinetic_single
+            v_local = v_local.astype(np.float32)
+
+        # kinetic: diagonal in G space
+        out = coefficients * kinetic[None, :]
+
+        # local potential: FFT to real space, multiply, FFT back (the product
+        # is a temporary, so the transform may scratch it)
+        psi_real = self.basis.to_real_space(coefficients)
+        out += self.basis.from_real_space(v_local[None, ...] * psi_real, overwrite=True)
 
         # nonlocal pseudopotential
         out += self.nonlocal_psp.apply(coefficients)
@@ -258,14 +338,24 @@ class Hamiltonian:
     # ------------------------------------------------------------------
     # Energies
     # ------------------------------------------------------------------
-    def energy(self, wavefunction: Wavefunction) -> EnergyBreakdown:
+    def energy(
+        self,
+        wavefunction: Wavefunction,
+        density: np.ndarray | None = None,
+        v_hartree: np.ndarray | None = None,
+        xc_result: "XCResult | None" = None,
+    ) -> EnergyBreakdown:
         """Total energy breakdown for a wavefunction set.
 
         The density-dependent terms are evaluated from the density of
         ``wavefunction`` (not from the cached SCF density) so the method can be
-        used both during SCF and for reporting along a trajectory.
+        used both during SCF and for reporting along a trajectory. ``density``,
+        ``v_hartree`` and ``xc_result`` may be passed precomputed — the batched
+        record keeping reuses the end-of-step density and evaluates Hartree/xc
+        for a whole job stack at once.
         """
-        density = compute_density(wavefunction, self.grid)
+        if density is None:
+            density = compute_density(wavefunction, self.grid)
         occ = wavefunction.occupations
         coeff = wavefunction.coefficients
 
@@ -274,11 +364,12 @@ class Hamiltonian:
                 np.sum(occ[:, None] * (np.abs(coeff) ** 2) * self.kinetic_diagonal[None, :])
             )
         )
-        v_h = hartree_potential(self.grid, density)
+        v_h = hartree_potential(self.grid, density) if v_hartree is None else v_hartree
         e_hartree = hartree_energy(self.grid, density, v_h)
         e_external = float(np.real(self.grid.integrate(density * self.v_ionic)))
         e_laser = float(np.real(self.grid.integrate(density * self._v_external_t)))
-        xc_result = self.xc.evaluate(density, self.grid.volume_element)
+        if xc_result is None:
+            xc_result = self.xc.evaluate(density, self.grid.volume_element)
         e_nl = self.nonlocal_psp.energy(coeff, occ)
         e_x = self.exchange.energy(wavefunction) if self.exchange is not None else 0.0
         return EnergyBreakdown(
@@ -292,9 +383,17 @@ class Hamiltonian:
             laser=e_laser,
         )
 
-    def total_energy(self, wavefunction: Wavefunction) -> float:
+    def total_energy(
+        self,
+        wavefunction: Wavefunction,
+        density: np.ndarray | None = None,
+        v_hartree: np.ndarray | None = None,
+        xc_result: "XCResult | None" = None,
+    ) -> float:
         """Total energy (Hartree) for a wavefunction set."""
-        return self.energy(wavefunction).total
+        return self.energy(
+            wavefunction, density=density, v_hartree=v_hartree, xc_result=xc_result
+        ).total
 
     # ------------------------------------------------------------------
     def preconditioner(self, shift: float = 1.0) -> np.ndarray:

@@ -24,6 +24,11 @@ from .grid import FFTGrid
 
 __all__ = ["GaussianLaserPulse", "DeltaKick", "paper_laser_pulse", "sawtooth_position"]
 
+# (id(grid), direction bytes) -> (grid, read-only position array); the grid
+# reference keeps the id stable, the array is shared between dipole recording
+# and length-gauge coupling, both of which rebuild it every call otherwise
+_SAWTOOTH_CACHE: dict = {}
+
 
 def sawtooth_position(grid: FFTGrid, direction: np.ndarray) -> np.ndarray:
     """The periodic ("sawtooth") position operator ``r . e_hat`` on the grid.
@@ -31,17 +36,28 @@ def sawtooth_position(grid: FFTGrid, direction: np.ndarray) -> np.ndarray:
     For a periodic cell the bare position operator is ill defined; the
     conventional length-gauge treatment uses the fractional coordinate along
     the polarisation direction, centred so the discontinuity sits at the cell
-    boundary. Returns a real array of shape ``grid.shape`` in Bohr.
+    boundary. Returns a real **read-only** array of shape ``grid.shape`` in
+    Bohr (the array is memoised per grid and direction — it is evaluated at
+    every recorded step and every length-gauge field update).
     """
     direction = np.asarray(direction, dtype=float)
     norm = np.linalg.norm(direction)
     if norm < 1e-12:
         raise ValueError("direction must be a nonzero vector")
     direction = direction / norm
+    key = (id(grid), direction.tobytes())
+    hit = _SAWTOOTH_CACHE.get(key)
+    if hit is not None and hit[0] is grid:
+        return hit[1]
     points = grid.real_space_points  # (n1, n2, n3, 3)
     projection = points @ direction
     # centre around zero: subtract the mean so the sawtooth ramps from -L/2 to L/2
-    return projection - float(np.mean(projection))
+    position = projection - float(np.mean(projection))
+    position.flags.writeable = False
+    if len(_SAWTOOTH_CACHE) > 32:
+        _SAWTOOTH_CACHE.clear()
+    _SAWTOOTH_CACHE[key] = (grid, position)
+    return position
 
 
 @dataclass

@@ -43,6 +43,7 @@ class Cell:
         if abs(vol) < 1e-12:
             raise ValueError("lattice vectors are singular (zero cell volume)")
         object.__setattr__(self, "lattice_vectors", lat)
+        object.__setattr__(self, "_volume", abs(vol))
         recip = 2.0 * np.pi * np.linalg.inv(lat).T
         object.__setattr__(self, "_reciprocal", recip)
 
@@ -68,8 +69,8 @@ class Cell:
     # ------------------------------------------------------------------
     @property
     def volume(self) -> float:
-        """Cell volume in Bohr^3 (always positive)."""
-        return abs(float(np.linalg.det(self.lattice_vectors)))
+        """Cell volume in Bohr^3 (always positive; cached at construction)."""
+        return self._volume
 
     @property
     def reciprocal_vectors(self) -> np.ndarray:

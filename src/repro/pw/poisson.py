@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .fft import get_plan, plan_dtype
 from .grid import FFTGrid
 
 __all__ = [
@@ -57,11 +58,32 @@ class CoulombKernel:
 
         Returns the real-space potential ``V(r) = int K(r - r') rho(r') dr'``.
         The imaginary part is retained because pair densities
-        ``psi_i^*(r) psi_j(r)`` are complex in general.
+        ``psi_i^*(r) psi_j(r)`` are complex in general. Broadcasts over
+        leading axes (stacked densities of a batched group) through one
+        cached-plan call; ``complex64`` pair densities stay single precision.
         """
-        rho_g = np.fft.fftn(np.asarray(rho_real), axes=(-3, -2, -1)) / self.grid.size
-        v_g = self.values * rho_g
-        return np.fft.ifftn(v_g, axes=(-3, -2, -1)) * self.grid.size
+        rho_real = np.asarray(rho_real)
+        plan = get_plan(self.grid, plan_dtype(rho_real.dtype))
+        rho_g = plan.fftn(rho_real)
+        rho_g /= self.grid.size
+        values = self.values_single if rho_g.dtype == np.complex64 else self.values
+        np.multiply(values, rho_g, out=rho_g)  # rho_g is owned scratch here
+        out = plan.ifftn(rho_g, overwrite=True)
+        out *= self.grid.size
+        return out
+
+    @property
+    def values_single(self) -> np.ndarray:
+        """``float32`` kernel values for the complex64 precision tier
+        (float64 values would silently promote the whole convolution)."""
+        cached = getattr(self, "_values_single", None)
+        if cached is None:
+            cached = self.values.astype(np.float32)
+            object.__setattr__(self, "_values_single", cached)
+        return cached
+
+
+_BARE_KERNELS: dict[FFTGrid, CoulombKernel] = {}
 
 
 def bare_coulomb_kernel(grid: FFTGrid) -> CoulombKernel:
@@ -71,12 +93,21 @@ def bare_coulomb_kernel(grid: FFTGrid) -> CoulombKernel:
     homogeneous background (jellium), the standard treatment for charged
     periodic sub-problems; the paper's silicon systems are neutral so the
     total Hartree problem is well defined.
+
+    Kernels are cached per grid (value equality) — every Hartree solve of
+    every SCF iteration asks for the same deterministic array, and rebuilding
+    it dominated small-grid Poisson solves.
     """
+    cached = _BARE_KERNELS.get(grid)
+    if cached is not None:
+        return cached
     g2 = grid.g_squared
     values = np.zeros_like(g2)
     nonzero = g2 > 1e-12
     values[nonzero] = 4.0 * np.pi / g2[nonzero]
-    return CoulombKernel(grid, values, name="bare")
+    kernel = CoulombKernel(grid, values, name="bare")
+    _BARE_KERNELS[grid] = kernel
+    return kernel
 
 
 def screened_exchange_kernel(grid: FFTGrid, screening_length: float) -> CoulombKernel:

@@ -136,3 +136,26 @@ class LDAFunctional:
             pot = pot + v_c
         energy = float(np.sum(rho * eps) * volume_element)
         return XCResult(energy_density=eps, potential=pot, energy=energy)
+
+    def evaluate_many(self, rho_stack: np.ndarray, volume_element: float) -> list[XCResult]:
+        """Evaluate a ``(njobs,) + grid.shape`` density stack in one pass.
+
+        Every operation is elementwise (and the energy integral reduces each
+        job's contiguous grid slice in the same order as :meth:`evaluate`
+        reduces the whole array), so each returned slice is bit-identical to
+        evaluating that job's density alone — the batched stepping engine
+        relies on this to amortize the ufunc dispatch over the job stack.
+        """
+        rho = np.maximum(np.asarray(rho_stack, dtype=float), 0.0)
+        eps_x, v_x = lda_exchange(rho)
+        eps = self.exchange_scale * eps_x
+        pot = self.exchange_scale * v_x
+        if self.correlation:
+            eps_c, v_c = pz81_correlation(rho)
+            eps = eps + eps_c
+            pot = pot + v_c
+        energies = np.sum(rho * eps, axis=(-3, -2, -1)) * volume_element
+        return [
+            XCResult(energy_density=eps[j], potential=pot[j], energy=float(energies[j]))
+            for j in range(rho.shape[0])
+        ]

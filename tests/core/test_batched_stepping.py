@@ -1,0 +1,208 @@
+"""Batched lockstep stepping: ``step_many`` and the ``run_batched`` driver.
+
+The contract under test is *bit-identity*: at ``complex128``, stacking the
+wavefunctions of several jobs along a leading axis and advancing them with one
+batched ``step_many`` call must produce — element-wise, per job — exactly the
+arrays the solo ``step`` produces. The property is checked for every
+registered propagator class (hypothesis-driven over step-size combinations),
+and then end-to-end for the :func:`repro.core.dynamics.run_batched` driver
+against :meth:`~repro.core.dynamics.TDDFTSimulation.run`, including peeling
+jobs with different step counts and mixed propagator classes in one batch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import PROPAGATORS
+from repro.core.dynamics import BatchedRun, TDDFTSimulation, run_batched
+
+
+def canonical_propagator_names() -> list[str]:
+    """One name per distinct registered factory (aliases collapsed)."""
+    seen: dict = {}
+    for name in PROPAGATORS.names():
+        seen.setdefault(PROPAGATORS.get(name), name)
+    return sorted(seen.values())
+
+
+def _solo_step(factory, base_ham, wavefunction, dt):
+    propagator = factory(base_ham.clone())
+    propagator.prepare(wavefunction, 0.0)
+    return propagator.step(wavefunction, 0.0, dt)
+
+
+@pytest.mark.parametrize("name", canonical_propagator_names())
+@given(dts=st.lists(st.sampled_from([0.5, 1.0, 2.0]), min_size=2, max_size=4))
+@settings(max_examples=3, deadline=None)
+def test_step_many_is_elementwise_identical_to_solo_steps(name, dts, h2_ground_state):
+    """For every registered propagator, a stacked ``step_many`` batch equals
+    the per-job solo ``step`` bit for bit (complex128)."""
+    base_ham, result = h2_ground_state
+    factory = PROPAGATORS.get(name)
+    wf0 = result.wavefunction
+
+    solo = [_solo_step(factory, base_ham, wf0, dt) for dt in dts]
+
+    propagators = [factory(base_ham.clone()) for _ in dts]
+    for propagator in propagators:
+        propagator.prepare(wf0, 0.0)
+    batched_wfs, batched_stats = type(propagators[0]).step_many(
+        propagators, [wf0] * len(dts), [0.0] * len(dts), list(dts)
+    )
+
+    for (solo_wf, solo_stats), wf, stats in zip(solo, batched_wfs, batched_stats):
+        assert np.array_equal(solo_wf.coefficients, wf.coefficients)
+        assert stats.scf_iterations == solo_stats.scf_iterations
+        assert stats.hamiltonian_applications == solo_stats.hamiltonian_applications
+        assert stats.converged == solo_stats.converged
+        _assert_float_equal(stats.density_error, solo_stats.density_error)
+        _assert_float_equal(stats.orthogonality_error, solo_stats.orthogonality_error)
+
+
+def _assert_float_equal(a: float, b: float) -> None:
+    if np.isnan(a) and np.isnan(b):
+        return
+    assert a == b
+
+
+def test_ptcn_batch_with_different_tolerances_converges_each_job(h2_ground_state):
+    """Jobs drop out of the lockstep SCF against their *own* tolerance — a
+    loose job must not inherit the tight job's iteration count."""
+    base_ham, result = h2_ground_state
+    factory = PROPAGATORS.get("ptcn")
+    wf0 = result.wavefunction
+    tolerances = [1e-3, 1e-9]
+
+    solo_stats = [
+        _solo_step(lambda h, t=t: factory(h, scf_tolerance=t), base_ham, wf0, 1.0)[1]
+        for t in tolerances
+    ]
+    propagators = [factory(base_ham.clone(), scf_tolerance=t) for t in tolerances]
+    for propagator in propagators:
+        propagator.prepare(wf0, 0.0)
+    _, batched_stats = type(propagators[0]).step_many(
+        propagators, [wf0, wf0], [0.0, 0.0], [1.0, 1.0]
+    )
+
+    assert [s.scf_iterations for s in batched_stats] == [s.scf_iterations for s in solo_stats]
+    assert batched_stats[0].scf_iterations < batched_stats[1].scf_iterations
+
+
+class TestRunBatched:
+    def _simulation(self, base_ham, name: str, **params) -> TDDFTSimulation:
+        propagator = PROPAGATORS.get(name)(base_ham.clone(), **params)
+        return TDDFTSimulation(propagator.hamiltonian, propagator)
+
+    def test_matches_solo_runs_and_peels_finished_jobs(self, h2_ground_state):
+        base_ham, result = h2_ground_state
+        wf0 = result.wavefunction
+        # different step counts: job 1 peels off after 2 lockstep iterations
+        jobs = [("ptcn", 0.8, 3), ("ptcn", 1.2, 2), ("rk4", 0.4, 3)]
+
+        solo = []
+        for name, dt, n_steps in jobs:
+            simulation = self._simulation(base_ham, name)
+            solo.append(simulation.run(wf0, dt, n_steps, metadata={"dt": dt}))
+
+        runs = [
+            BatchedRun(
+                simulation=self._simulation(base_ham, name),
+                initial_state=wf0,
+                time_step=dt,
+                n_steps=n_steps,
+                metadata={"dt": dt},
+            )
+            for name, dt, n_steps in jobs
+        ]
+        batched = run_batched(runs)
+
+        assert len(batched) == len(solo)
+        for reference, trajectory in zip(solo, batched):
+            assert trajectory.n_steps == reference.n_steps
+            for field in (
+                "times",
+                "energies",
+                "dipoles",
+                "electron_numbers",
+                "scf_iterations",
+                "hamiltonian_applications",
+            ):
+                assert np.array_equal(getattr(trajectory, field), getattr(reference, field)), field
+            assert np.array_equal(
+                trajectory.final_wavefunction.coefficients,
+                reference.final_wavefunction.coefficients,
+            )
+            assert trajectory.metadata == reference.metadata
+            assert trajectory.wall_time > 0.0
+
+    def test_empty_batch_returns_empty(self):
+        assert run_batched([]) == []
+
+    def test_validates_step_count_and_step_size(self, h2_ground_state):
+        base_ham, result = h2_ground_state
+        wf0 = result.wavefunction
+
+        def run_with(**overrides):
+            kwargs = dict(
+                simulation=self._simulation(base_ham, "ptcn"),
+                initial_state=wf0,
+                time_step=1.0,
+                n_steps=2,
+            )
+            kwargs.update(overrides)
+            return BatchedRun(**kwargs)
+
+        with pytest.raises(ValueError, match="n_steps"):
+            run_batched([run_with(n_steps=0)])
+        with pytest.raises(ValueError, match="time_step"):
+            run_batched([run_with(time_step=-1.0)])
+
+    def test_rejects_mixed_bases(self, h2_ground_state, chain_ground_state):
+        h2_ham, h2_result = h2_ground_state
+        chain_ham, chain_result = chain_ground_state
+        runs = [
+            BatchedRun(
+                simulation=self._simulation(h2_ham, "ptcn"),
+                initial_state=h2_result.wavefunction,
+                time_step=1.0,
+                n_steps=1,
+            ),
+            BatchedRun(
+                simulation=self._simulation(chain_ham, "ptcn"),
+                initial_state=chain_result.wavefunction,
+                time_step=1.0,
+                n_steps=1,
+            ),
+        ]
+        with pytest.raises(ValueError, match="basis"):
+            run_batched(runs)
+
+
+class TestHamiltonianClone:
+    def test_clone_shares_immutables_but_not_state(self, h2_ground_state):
+        base_ham, result = h2_ground_state
+        time_before = base_ham.time
+        twin = base_ham.clone()
+        assert twin.basis is base_ham.basis
+        assert twin.structure is base_ham.structure
+        assert twin.v_ionic is base_ham.v_ionic
+        assert twin.density is None
+        assert twin.time == 0.0
+        assert twin.counters.apply_calls == 0
+        # mutating the clone's time-dependent state leaves the original alone
+        twin.set_time(3.0)
+        twin.update_potential(result.wavefunction)
+        assert base_ham.time == time_before
+        assert not np.shares_memory(twin.v_hartree, base_ham.v_hartree)
+
+    def test_clones_apply_identically(self, h2_ground_state):
+        base_ham, result = h2_ground_state
+        twins = [base_ham.clone() for _ in range(2)]
+        for twin in twins:
+            twin.update_potential(result.wavefunction)
+        coeffs = result.wavefunction.coefficients
+        assert np.array_equal(twins[0].apply(coeffs), twins[1].apply(coeffs))
