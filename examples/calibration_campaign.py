@@ -1,0 +1,333 @@
+#!/usr/bin/env python
+"""Online cost-model calibration and adaptive mid-campaign re-planning.
+
+The cost stack predicts every group's seconds from a hand-pinned model
+(``repro.cost.MachineCostModel``); nothing ever consumed the observed wall
+times sitting next to those predictions in every execution summary. This
+example closes that loop twice over (``repro.calib``):
+
+**Phase A — observe → fit → re-plan.** A skewed two-sweep campaign (ptcn
+groups next to rk4 groups) runs through a ``CampaignService`` holding a
+``ResultStore``: every finished sweep's predicted-vs-observed pairs are
+appended to the store's ``calibration/observations.jsonl``. A second service
+over the same store with ``calibration="store"`` fits a
+``CalibrationModel`` from the log and admits the same campaign re-priced.
+The check is the PR's acceptance inequality: the calibrated model's median
+relative prediction error on the cold run's observations is **strictly
+below** the uncalibrated model's — while the warm re-run is served 100%
+from the store with a bit-identical physics export (calibration never
+touches group keys or config hashes).
+
+**Phase B — drift-triggered work stealing.** The service runner re-packs a
+sweep mid-flight: with a deterministic synthetic observer (every ptcn group
+runs 3x its prediction, rk4 exactly 1x) the observed/predicted drift crosses
+the threshold after two groups, a calibration is fitted from the completed
+groups, and the remaining unstarted groups are re-priced and re-packed LPT
+across the ranks. The check: the re-packed makespan is **strictly below**
+the static plan's, both priced with the final fitted seconds.
+
+The smoke mode is the CI harness (``calibration-smoke`` job): a cold pass
+(``--smoke --store DIR``), then a calibrated pass (``--smoke --store DIR
+--calibrated``) against the same store, uploading
+``benchmarks/results/BENCH_calibration.json``.
+
+Usage:
+    python examples/calibration_campaign.py                      # walkthrough
+    python examples/calibration_campaign.py --smoke --store DIR  # CI cold pass
+    python examples/calibration_campaign.py --smoke --store DIR --calibrated
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import hashlib
+import json
+import pathlib
+import statistics
+import sys
+import tempfile
+
+from repro.api import SimulationConfig
+from repro.batch import SweepSpec
+from repro.calib import CalibrationModel, ObservationLog
+from repro.campaign import Budget, CampaignSpec
+from repro.exec import ExecutionSettings
+from repro.service import CampaignService, NodePool
+from repro.service.runner import run_sweep
+from repro.store import ResultStore
+
+DEFAULT_OUT = pathlib.Path(__file__).resolve().parent.parent / "benchmarks" / "results" / "BENCH_calibration.json"
+
+#: the tiny semi-local H2 base config every sweep starts from
+BASE = {
+    "system": {"structure": "hydrogen_molecule", "params": {"box": 8.0, "bond_length": 1.4}},
+    "basis": {"ecut": 2.0},
+    "xc": {"hybrid_mixing": 0.0},
+    "run": {"time_step_as": 1.0, "n_steps": 2, "gs_scf_tolerance": 1e-6},
+}
+
+#: Phase B's synthetic truth — ptcn groups run 3x their prediction
+SKEW = {"ptcn": 3.0, "rk4": 1.0}
+
+
+def build_campaign() -> CampaignSpec:
+    """Two skewed sweeps: ptcn cutoff groups next to rk4 dt groups, so the
+    calibration fits two distinct (machine, propagator) buckets. The axes
+    avoid the base-config point, so a cold run computes everything."""
+    base = SimulationConfig.from_dict(BASE)
+    return CampaignSpec(
+        {
+            "ptcn-cutoffs": SweepSpec(base, {"basis.ecut": [1.5, 1.8]}),
+            "rk4-cutoffs": SweepSpec(
+                base,
+                {"propagator.name": ["rk4"], "basis.ecut": [2.2, 2.6]},
+            ),
+        },
+        budget=Budget(max_nodes=1),
+    )
+
+
+def run_campaign(store: ResultStore, *, calibration=None):
+    """One campaign pass through a CampaignService over ``store``."""
+    service = CampaignService(
+        NodePool("summit", n_nodes=1), store=store, calibration=calibration
+    )
+
+    async def body():
+        handle = service.submit(build_campaign(), name="calibration-demo")
+        return handle, await handle.report()
+
+    return asyncio.run(body())
+
+
+def physics_digests(report) -> dict[str, str]:
+    """Per-sweep sha256 of the deterministic physics export."""
+    return {
+        name: hashlib.sha256(report[name].to_json(exclude_timings=True).encode()).hexdigest()
+        for name in report.sweep_names
+    }
+
+
+def median_relative_error(observations, model: CalibrationModel) -> float:
+    """Median of ``|scale x predicted - observed| / observed`` over the log —
+    the uncalibrated error is the same formula with the empty model."""
+    errors = [
+        abs(model.scale_for(o.machine, o.propagator) * o.predicted_seconds - o.observed_seconds)
+        / o.observed_seconds
+        for o in observations
+        if o.ok
+    ]
+    return statistics.median(errors) if errors else float("nan")
+
+
+def adaptive_demo(*, verbose: bool = True) -> dict:
+    """Phase B: deterministic drift → re-pack → strictly smaller makespan.
+
+    Four single-propagator groups (propagator zipped against cutoff), two
+    ranks; the static LPT pack pairs the two ptcn groups on one rank, so
+    once the 3x ptcn skew is observed, stealing one of them is a strict win.
+    """
+    base = SimulationConfig.from_dict(BASE)
+    spec = SweepSpec(
+        base,
+        {
+            "basis.ecut": [2.4, 2.1, 1.8, 1.5],
+            "propagator.name": ["rk4", "ptcn", "ptcn", "rk4"],
+        },
+        mode="zip",
+    )
+    settings = ExecutionSettings(machine="summit", ranks=2, schedule="makespan_balanced")
+
+    async def body():
+        pool = NodePool("summit", n_nodes=1)
+        return await run_sweep(
+            spec,
+            settings,
+            pool,
+            name="adaptive-demo",
+            adaptive=True,
+            observe=lambda g: g.predicted_seconds * SKEW[g.propagator],
+        )
+
+    outcome = asyncio.run(body())
+    record = dict(outcome.report.execution["adaptive"])
+    record["leases"] = [
+        {k: lease[k] for k in ("start", "end", "duration")}
+        for lease in outcome.report.execution["leases"]
+    ]
+    if verbose:
+        static = record.get("static_modeled_makespan_s", float("nan"))
+        adaptive = record.get("adaptive_modeled_makespan_s", float("nan"))
+        print(
+            f"adaptive demo: {record['repacks']} re-pack(s); modeled makespan "
+            f"{static:.3g} s static -> {adaptive:.3g} s re-packed"
+        )
+    return record
+
+
+def check(condition: bool, message: str) -> bool:
+    if not condition:
+        print(f"smoke FAILED: {message}", file=sys.stderr)
+    return condition
+
+
+def merge_artifact(out_path: pathlib.Path, key: str, record: dict) -> None:
+    """Merge this pass's record under its key (the CI job runs cold then
+    calibrated against one store and uploads one file)."""
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    merged = {}
+    if out_path.exists():
+        try:
+            merged = json.loads(out_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            merged = {}
+    if not isinstance(merged, dict):
+        merged = {}
+    merged[key] = record
+    out_path.write_text(json.dumps(merged, indent=2) + "\n")
+    print(f"[BENCH_calibration] wrote {out_path} (keys: {sorted(merged)})")
+
+
+def cold_pass(store: ResultStore, out_path: pathlib.Path) -> int:
+    """Run the campaign uncalibrated; populate the observation log."""
+    handle, report = run_campaign(store)
+    print(report.plan_table())
+    if not check(report.ok, f"{report.n_failed} job(s) failed"):
+        return 1
+    observations = ObservationLog(store).load()
+    if not check(len(observations) >= 4, f"only {len(observations)} observations logged"):
+        return 1
+    digests = physics_digests(report)
+    (store.root / "physics-digest.json").write_text(json.dumps(digests, indent=2) + "\n")
+    uncalibrated_error = median_relative_error(observations, CalibrationModel())
+    merge_artifact(
+        out_path,
+        "cold",
+        {
+            "n_jobs": report.n_jobs,
+            "n_cached": report.n_cached,
+            "observations_logged": len(observations),
+            "plan_calibrated": "calibration" in handle.plan.as_dict(),
+            "median_relative_error_uncalibrated": uncalibrated_error,
+        },
+    )
+    print(
+        f"cold pass: {len(observations)} observations logged; uncalibrated "
+        f"median relative prediction error {uncalibrated_error:.3g}"
+    )
+    return 0
+
+
+def calibrated_pass(store: ResultStore, out_path: pathlib.Path) -> int:
+    """Re-run calibrated from the store's log; check the PR's inequalities."""
+    observations = ObservationLog(store).load()
+    if not check(bool(observations), "no observations in the store (run the cold pass first)"):
+        return 1
+    fitted = CalibrationModel.fit(observations)
+    uncalibrated_error = median_relative_error(observations, CalibrationModel())
+    calibrated_error = median_relative_error(observations, fitted)
+    print(f"fit: {fitted.describe()}")
+    print(
+        f"median relative prediction error on the cold observations: "
+        f"{uncalibrated_error:.3g} uncalibrated -> {calibrated_error:.3g} calibrated"
+    )
+    if not check(
+        calibrated_error < uncalibrated_error,
+        "calibration did not shrink the median relative prediction error",
+    ):
+        return 1
+
+    handle, report = run_campaign(store, calibration="store")
+    print(report.plan_table())
+    if not check(report.ok, f"{report.n_failed} job(s) failed"):
+        return 1
+    if not check(
+        "calibration" in handle.plan.as_dict(),
+        "the calibrated pass admitted an uncalibrated plan",
+    ):
+        return 1
+    if not check(
+        report.n_cached == report.n_jobs,
+        f"warm re-run served {report.n_cached}/{report.n_jobs} from the store",
+    ):
+        return 1
+    digest_path = store.root / "physics-digest.json"
+    if not check(digest_path.exists(), "no cold-pass digest to compare against"):
+        return 1
+    if not check(
+        json.loads(digest_path.read_text()) == physics_digests(report),
+        "calibrated physics export differs from the cold run",
+    ):
+        return 1
+    print("warm re-run: 100% store hits, physics bit-identical to the cold pass")
+
+    adaptive = adaptive_demo()
+    if not check(adaptive["repacks"] >= 1, "the adaptive demo never re-packed"):
+        return 1
+    if not check(
+        adaptive["adaptive_modeled_makespan_s"] < adaptive["static_modeled_makespan_s"],
+        "re-packing did not beat the static plan's modeled makespan",
+    ):
+        return 1
+
+    merge_artifact(
+        out_path,
+        "calibrated",
+        {
+            "n_jobs": report.n_jobs,
+            "n_cached": report.n_cached,
+            "fit": fitted.as_dict(),
+            "median_relative_error_uncalibrated": uncalibrated_error,
+            "median_relative_error_calibrated": calibrated_error,
+            "error_shrink_factor": (
+                uncalibrated_error / calibrated_error if calibrated_error else float("inf")
+            ),
+            "physics_bit_identical": True,
+            "adaptive": adaptive,
+        },
+    )
+    return 0
+
+
+def main(store_root: pathlib.Path | None, out_path: pathlib.Path) -> int:
+    """Full walkthrough: cold pass, calibrated pass, adaptive demo."""
+    if store_root is None:
+        store_root = pathlib.Path(tempfile.mkdtemp(prefix="repro-calib-")) / "store"
+    print(f"store root: {store_root}\n")
+    print("=== cold pass (uncalibrated; populating the observation log) ===\n")
+    if cold_pass(ResultStore(store_root), out_path):
+        return 1
+    print("\n=== calibrated pass (fit from the log; adaptive demo) ===\n")
+    return calibrated_pass(ResultStore(store_root), out_path)
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="run one CI smoke pass")
+    parser.add_argument(
+        "--store",
+        type=pathlib.Path,
+        default=None,
+        help="store root directory (required for --smoke; temp dir otherwise)",
+    )
+    parser.add_argument(
+        "--calibrated",
+        action="store_true",
+        help="smoke: fit from the store's log, re-run calibrated, run the adaptive demo",
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=DEFAULT_OUT,
+        help="BENCH_calibration.json artifact path",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        if args.store is None:
+            parser.error("--smoke requires --store DIR (the CI job reuses it across passes)")
+        store = ResultStore(args.store)
+        sys.exit(
+            calibrated_pass(store, args.out) if args.calibrated else cold_pass(store, args.out)
+        )
+    sys.exit(main(args.store, args.out))

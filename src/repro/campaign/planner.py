@@ -108,12 +108,16 @@ class ExecutionPlan:
         sweeps: dict[str, SweepPlan],
         budget: Budget,
         predicted_nodes: int,
+        calibration=None,
     ):
         self.campaign = campaign
         self.settings = settings
         self.sweeps = dict(sweeps)
         self.budget = budget
         self.predicted_nodes = int(predicted_nodes)
+        #: the :class:`~repro.calib.CalibrationModel` the predictions were
+        #: priced under (``None`` = the static hand-pinned cost model)
+        self.calibration = calibration
 
     # ------------------------------------------------------------------
     @property
@@ -217,7 +221,7 @@ class ExecutionPlan:
     # ------------------------------------------------------------------
     def as_dict(self) -> dict:
         """JSON-able record of the whole plan (settings, budget, predictions)."""
-        return {
+        record = {
             "settings": self.settings.as_dict(),
             "budget": self.budget.as_dict(),
             "predicted_wall_seconds": self.predicted_wall_seconds,
@@ -225,6 +229,11 @@ class ExecutionPlan:
             "predicted_nodes": self.predicted_nodes,
             "sweeps": {name: plan.as_dict() for name, plan in self.sweeps.items()},
         }
+        if self.calibration is not None and not getattr(self.calibration, "is_empty", False):
+            # provenance only when actually calibrated: uncalibrated plans
+            # keep the exact record surface of earlier versions
+            record["calibration"] = self.calibration.as_dict()
+        return record
 
     def plan_table(self) -> str:
         """The pre-flight view: one row per sweep with its predictions."""
@@ -236,11 +245,15 @@ class ExecutionPlan:
             for plan in self.sweeps.values()
         ]
         s = self.settings
+        provenance = "uncalibrated"
+        if self.calibration is not None and hasattr(self.calibration, "describe"):
+            provenance = self.calibration.describe()
         footer = (
             f"machine={s.machine} gpus_per_group={s.gpus_per_group} backend={s.backend} "
             f"ranks={s.ranks} schedule={s.schedule} | campaign totals: "
             f"wall {self.predicted_wall_seconds:.3g} s, "
             f"energy {self.predicted_energy_joules:.3g} J, nodes {self.predicted_nodes}"
+            f" | {provenance}"
         )
         return f"{format_table(headers, rows)}\n{footer}"
 
@@ -265,6 +278,14 @@ class CampaignPlanner:
     policies:
         Scheduling policies to search (default ``("makespan_balanced",
         "energy_aware")`` — the two packing-aware policies).
+    calibration:
+        A fitted :class:`~repro.calib.CalibrationModel`: every candidate is
+        priced with the :meth:`~repro.cost.MachineCostModel.calibrated` copy
+        of its machine model, so plans tighten as observations accumulate.
+        The chosen plan records the calibration as provenance (``as_dict()``
+        / ``plan_table()``), and the service runner re-prices its pool
+        accounting with the same model. Calibration never touches group keys
+        or ``config_hash`` — re-planning reuses every existing checkpoint.
     """
 
     def __init__(
@@ -275,10 +296,12 @@ class CampaignPlanner:
         rank_options=(1, 2, 4, 8),
         gpus_per_group_options=None,
         policies=("makespan_balanced", "energy_aware"),
+        calibration=None,
     ):
         if not isinstance(spec, CampaignSpec):
             raise ValueError(f"spec must be a CampaignSpec, got {type(spec).__name__}")
         self.spec = spec
+        self.calibration = calibration
         self.machines = sorted(MACHINES) if machines is None else list(machines)
         for name in self.machines:
             resolve_machine(name)  # raises listing the presets
@@ -341,6 +364,8 @@ class CampaignPlanner:
         numbers, unlike the scheduler, which degrades to expansion order.
         """
         scheduler = settings.scheduler()
+        if self.calibration is not None and scheduler.machine is not None:
+            scheduler.machine = scheduler.machine.calibrated(self.calibration)
         forecasts: dict[str, SweepPlan] = {}
         for name, grouped in self._grouped.items():
             scheduled = scheduler.schedule(copy.copy(grouped))
@@ -447,6 +472,7 @@ class CampaignPlanner:
             forecasts,
             budget,
             predicted_nodes=int(totals["max_nodes"]),
+            calibration=self.calibration,
         )
 
     def _infeasible(self, evaluated, limits: dict[str, float]) -> InfeasibleBudgetError:

@@ -24,11 +24,35 @@ __all__ = ["CampaignReport"]
 def _observed_wall_seconds(report: SweepReport) -> float:
     """The sweep's observed makespan: the busiest simulated rank's in-process
     wall time when per-rank accounting exists, else the summed job wall
-    times (serial/process backends run one group after another)."""
-    per_rank = report.execution.get("per_rank") or []
+    times (serial/process backends run one group after another).
+
+    Per-rank entries are tolerated missing or malformed — a crashed rank may
+    never have reported its stats dict — in which case the makespan degrades
+    to the summed-job rule instead of raising on a partial report.
+    """
+    per_rank = [
+        stats for stats in (report.execution.get("per_rank") or [])
+        if isinstance(stats, dict)
+    ]
     if per_rank:
         return max(float(stats.get("observed_seconds") or 0.0) for stats in per_rank)
     return sum(float(r.summary.get("wall_time") or 0.0) for r in report.results)
+
+
+def _drift(predicted, observed) -> str:
+    """The per-sweep drift cell: ``observed / predicted`` as the calibration
+    layer measures it (``"-"`` without a usable prediction). Large values are
+    expected here — predictions are modeled-machine seconds, observations
+    in-process wall time — the *spread across sweeps* is what flags a
+    miscalibrated bucket."""
+    try:
+        predicted = float(predicted)
+        observed = float(observed)
+    except (TypeError, ValueError):
+        return "-"
+    if not (predicted > 0.0) or observed < 0.0:
+        return "-"
+    return f"{observed / predicted:.3g}x"
 
 
 class CampaignReport:
@@ -141,11 +165,12 @@ class CampaignReport:
         planned = self.plan.get("sweeps", {})
         headers = [
             "sweep", "jobs", "failed", "cached",
-            "predicted wall [s]", "observed wall [s]", "predicted energy [J]",
+            "predicted wall [s]", "observed wall [s]", "drift", "predicted energy [J]",
         ]
         rows = []
         for name, report in self.reports.items():
             prediction = planned.get(name, {})
+            observed = _observed_wall_seconds(report)
             rows.append(
                 [
                     name,
@@ -153,7 +178,8 @@ class CampaignReport:
                     len(report.failed),
                     report.n_cached,
                     prediction.get("predicted_wall_seconds", "-"),
-                    _observed_wall_seconds(report),
+                    observed,
+                    _drift(prediction.get("predicted_wall_seconds"), observed),
                     prediction.get("predicted_energy_joules", "-"),
                 ]
             )
@@ -168,16 +194,26 @@ class CampaignReport:
                     "-",
                     prediction.get("predicted_wall_seconds", "-"),
                     "-",
+                    "-",
                     prediction.get("predicted_energy_joules", "-"),
                 ]
             )
         settings = self.settings
+        calibration = self.plan.get("calibration")
+        if isinstance(calibration, dict) and calibration.get("factors"):
+            provenance = (
+                f"calibrated from {calibration.get('n_observations', 0)} obs / "
+                f"{len(calibration['factors'])} bucket(s)"
+            )
+        else:
+            provenance = "uncalibrated"
         footer = (
             f"machine={settings.get('machine', '?')} backend={settings.get('backend', '?')} "
             f"ranks={settings.get('ranks', '?')} schedule={settings.get('schedule', '?')} "
             f"gpus_per_group={settings.get('gpus_per_group', '?')} | "
             f"campaign predicted wall = {self.plan.get('predicted_wall_seconds', float('nan')):.3g} s, "
             f"energy = {self.plan.get('predicted_energy_joules', float('nan')):.3g} J"
+            f" | {provenance}"
         )
         if not self.complete:
             footer += (

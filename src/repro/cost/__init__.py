@@ -12,8 +12,10 @@ arithmetic, applied to our own sweeps.
 
 from .model import (
     MACHINES,
+    CalibratedCostModel,
     CostEstimate,
     MachineCostModel,
+    machine_name,
     resolve_machine,
     sweep_execution_point,
 )
@@ -21,8 +23,10 @@ from .placement import Link, NodePlacement
 
 __all__ = [
     "MACHINES",
+    "CalibratedCostModel",
     "CostEstimate",
     "MachineCostModel",
+    "machine_name",
     "resolve_machine",
     "sweep_execution_point",
     "Link",

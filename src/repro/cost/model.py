@@ -38,7 +38,15 @@ from ..perf.sweep_cost import (
     predict_scf_cost,
 )
 
-__all__ = ["MACHINES", "CostEstimate", "MachineCostModel", "resolve_machine", "sweep_execution_point"]
+__all__ = [
+    "MACHINES",
+    "CalibratedCostModel",
+    "CostEstimate",
+    "MachineCostModel",
+    "machine_name",
+    "resolve_machine",
+    "sweep_execution_point",
+]
 
 #: machine presets selectable via ``run.machine.name`` — ``"summit"`` is the
 #: paper's machine, ``"frontier"`` the improved-network what-if of its closing
@@ -54,6 +62,19 @@ def resolve_machine(name: str) -> SummitSystem:
         raise ValueError(
             f"unknown machine {name!r}; available machines: {sorted(MACHINES)}"
         ) from None
+
+
+def machine_name(system: SummitSystem) -> str | None:
+    """The preset name of ``system`` (inverse of :func:`resolve_machine`).
+
+    ``None`` for systems not registered in :data:`MACHINES` — calibration
+    observations of such a system carry no machine label and only ever match
+    each other.
+    """
+    for name, preset in MACHINES.items():
+        if preset is system or preset == system:
+            return name
+    return None
 
 
 @dataclass(frozen=True)
@@ -233,6 +254,32 @@ class MachineCostModel:
         return self.estimate(self.step_flop_multiplier * float(flops), self.gpus_for(configs[0]))
 
     # ------------------------------------------------------------------
+    # Online calibration
+    # ------------------------------------------------------------------
+    def calibrated(self, calibration) -> "MachineCostModel":
+        """A re-priced copy applying a fitted :class:`~repro.calib.CalibrationModel`.
+
+        The returned :class:`CalibratedCostModel` rescales every sweep
+        estimate's *seconds* by the calibration's ``(machine, propagator)``
+        time scale (energy follows automatically — modeled power is
+        unchanged); FLOP counts, GPU slices and node occupancy are untouched,
+        so packings re-balance on corrected time without changing what the
+        budget's node accounting sees. ``None`` or an empty model returns
+        ``self`` unchanged — the identity calibration costs nothing.
+        """
+        if calibration is None or getattr(calibration, "is_empty", False):
+            return self
+        return CalibratedCostModel(
+            system=self.system,
+            gpu_model=self.gpu_model,
+            network=self.network,
+            gpus_per_group=self.gpus_per_group,
+            bcast_overlap_fraction=self.bcast_overlap_fraction,
+            step_flop_multiplier=self.step_flop_multiplier,
+            calibration=calibration,
+        )
+
+    # ------------------------------------------------------------------
     # Reference path: the paper's silicon systems (model calibration)
     # ------------------------------------------------------------------
     def silicon_step_estimate(
@@ -272,6 +319,65 @@ class MachineCostModel:
     def silicon_scaling(self, natoms: int, gpu_counts) -> list[CostEstimate]:
         """The strong-scaling curve of :meth:`silicon_step_estimate`."""
         return [self.silicon_step_estimate(natoms, n) for n in gpu_counts]
+
+
+@dataclass(frozen=True)
+class CalibratedCostModel(MachineCostModel):
+    """A :class:`MachineCostModel` re-priced by a fitted calibration.
+
+    Built by :meth:`MachineCostModel.calibrated`. Every sweep-facing estimate
+    (job, SCF, group) is rescaled in *seconds* by the calibration's time
+    scale for this machine and the workload's propagator — the SCF uses the
+    machine-wide bucket (it is not a propagator workload), mixed-propagator
+    groups likewise. The :meth:`~MachineCostModel.silicon_step_estimate`
+    reference path is deliberately left at the base pricing: it is the
+    paper-pinned curve the static model is validated against, not a sweep
+    workload.
+    """
+
+    #: a fitted :class:`repro.calib.CalibrationModel` (duck-typed: anything
+    #: with ``scale_for(machine, propagator)`` works)
+    calibration: object | None = None
+
+    @property
+    def machine_name(self) -> str | None:
+        """The preset name observations of this model are bucketed under."""
+        return machine_name(self.system)
+
+    def _scale(self, propagator: str | None) -> float:
+        if self.calibration is None:
+            return 1.0
+        return float(self.calibration.scale_for(self.machine_name, propagator))
+
+    def _rescaled(self, estimate: CostEstimate, propagator: str | None) -> CostEstimate:
+        scale = self._scale(propagator)
+        if scale == 1.0:
+            return estimate
+        return CostEstimate(
+            flops=estimate.flops,
+            seconds=estimate.seconds * scale,
+            n_gpus=estimate.n_gpus,
+            nodes=estimate.nodes,
+            power_watts=estimate.power_watts,
+        )
+
+    @staticmethod
+    def _group_propagator(configs) -> str | None:
+        names = {config.propagator.name for config in configs}
+        return names.pop() if len(names) == 1 else None
+
+    def job_estimate(self, config) -> CostEstimate:
+        return self._rescaled(super().job_estimate(config), config.propagator.name)
+
+    def scf_estimate(self, config) -> CostEstimate:
+        return self._rescaled(super().scf_estimate(config), None)
+
+    def group_estimate(self, configs, flops: float | None = None) -> CostEstimate:
+        configs = list(configs)
+        estimate = super().group_estimate(configs, flops=flops)
+        if not configs:
+            return estimate
+        return self._rescaled(estimate, self._group_propagator(configs))
 
 
 # ---------------------------------------------------------------------------

@@ -191,6 +191,15 @@ def _persist_ground_state(gs_store: CheckpointStore, group_key: str, session: Se
         return False
 
 
+def _group_wall_seconds(results) -> float:
+    """Summed job wall seconds of one executed group — the ``observed_seconds``
+    every backend stamps on its :class:`~repro.exec.ScheduledGroup`\\ s, which
+    is what calibration observations (:mod:`repro.calib`) pair against the
+    predicted seconds. Cached hits report ~0 and failures carry no wall time,
+    so fully served groups observe nothing (and are skipped by the fit)."""
+    return sum(float(r.summary.get("wall_time") or 0.0) for r in results)
+
+
 def _run_group_worker(payload) -> list[dict]:
     """Process-pool entry point: run a group, return JSON-able result dicts.
 
@@ -329,6 +338,14 @@ class ExecutionBackend(ABC):
                     "predicted_energy_j": _finite(g.predicted_energy_j),
                     "n_gpus": g.n_gpus,
                     "rank": g.rank,
+                    # self-describing calibration identity (repro.calib):
+                    # machine preset, propagator, workload sizes, and the
+                    # observed wall the drain stamped
+                    "machine": g.machine,
+                    "propagator": g.propagator,
+                    "n_bands": g.n_bands,
+                    "n_grid": g.n_grid,
+                    "observed_seconds": _finite(g.observed_seconds),
                 }
                 for g in self.groups
             ],
@@ -363,18 +380,18 @@ class SerialBackend(ExecutionBackend):
         for group in self.groups:
             if self._cancelled:
                 break
-            results.extend(
-                execute_group(
-                    group.jobs,
-                    self.checkpoint_dir,
-                    self.raise_on_error,
-                    session=self.sessions.get(group.key),
-                    share_ground_states=self.share_ground_states,
-                    store=self.store,
-                    batch_stepping=self.batch_stepping,
-                    precision=self.precision,
-                )
+            group_results = execute_group(
+                group.jobs,
+                self.checkpoint_dir,
+                self.raise_on_error,
+                session=self.sessions.get(group.key),
+                share_ground_states=self.share_ground_states,
+                store=self.store,
+                batch_stepping=self.batch_stepping,
+                precision=self.precision,
             )
+            group.observed_seconds = _group_wall_seconds(group_results)
+            results.extend(group_results)
             self._record_group_drained(group)
         self._done = True
         return results
@@ -469,7 +486,9 @@ class ProcessPoolBackend(ExecutionBackend):
             for group, future in futures:
                 if self._cancelled and future.cancel():
                     continue  # never started; its jobs simply don't report
-                results.extend(JobResult.from_dict(d) for d in future.result())
+                group_results = [JobResult.from_dict(d) for d in future.result()]
+                group.observed_seconds = _group_wall_seconds(group_results)
+                results.extend(group_results)
                 self._record_group_drained(group)
         self._done = True
         return results
@@ -624,9 +643,8 @@ class DistributedBackend(ExecutionBackend):
                 stats["predicted_seconds"] += float(group.predicted_seconds)
             if np.isfinite(group.predicted_energy_j):
                 stats["predicted_energy_j"] += float(group.predicted_energy_j)
-            stats["observed_seconds"] += sum(
-                float(r.summary.get("wall_time") or 0.0) for r in group_results
-            )
+            group.observed_seconds = _group_wall_seconds(group_results)
+            stats["observed_seconds"] += group.observed_seconds
 
             decoded = json.loads(bytes(bytearray(received)).decode())
             results.extend(JobResult.from_dict(d) for d in decoded)

@@ -32,8 +32,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..api.config import SCHEDULE_POLICIES
-from ..cost.model import MachineCostModel
-from ..perf.sweep_cost import predict_group_cost
+from ..cost.model import MachineCostModel, machine_name
+from ..perf.sweep_cost import predict_group_cost, workload_sizes
 
 __all__ = ["SCHEDULE_POLICIES", "ScheduledGroup", "Scheduler"]
 
@@ -67,6 +67,21 @@ class ScheduledGroup:
     rank:
         Assigned virtual rank (set by :meth:`Scheduler.pack`; ``None`` for
         purely local backends).
+    machine, propagator, n_bands, n_grid:
+        Self-describing identity for calibration observations
+        (:mod:`repro.calib`): the machine preset the prediction was priced
+        on, the group's propagator (``None`` when its jobs mix propagators —
+        the group key excludes them), and the workload sizes from
+        :func:`~repro.perf.sweep_cost.workload_sizes`.
+    observed_seconds:
+        Wall seconds the group actually took, stamped by the backends after
+        execution (``nan`` until then).
+    repriced_seconds:
+        Calibration-corrected predicted seconds, stamped by an adaptive
+        re-pack (:func:`repro.service.run_sweep`); ``nan`` otherwise. Kept
+        separate from :attr:`predicted_seconds` so observations always pair
+        the *model's* prediction with reality — re-priced accounting never
+        feeds back into the next fit.
     """
 
     key: str
@@ -77,6 +92,12 @@ class ScheduledGroup:
     predicted_energy_j: float = float("nan")
     n_gpus: int = 1
     rank: int | None = None
+    machine: str | None = None
+    propagator: str | None = None
+    n_bands: int | None = None
+    n_grid: int | None = None
+    observed_seconds: float = float("nan")
+    repriced_seconds: float = float("nan")
 
     @property
     def n_jobs(self) -> int:
@@ -93,6 +114,16 @@ class ScheduledGroup:
             if np.isfinite(value) and value > 0:
                 return float(value)
         return 1.0
+
+    @property
+    def planned_seconds(self) -> float:
+        """The group's best current time estimate for pool/segment accounting:
+        calibration-repriced seconds when an adaptive re-pack stamped them,
+        else the model's prediction, else the generic :attr:`weight`."""
+        for value in (self.repriced_seconds, self.predicted_seconds):
+            if np.isfinite(value) and value > 0:
+                return float(value)
+        return self.weight
 
     def metric_value(self, metric: str) -> float:
         """The group's load in one named unit (``Scheduler._weight_metric``)."""
@@ -129,11 +160,17 @@ class Scheduler:
         :func:`~repro.perf.sweep_cost.predict_group_cost` applied — matches
         how the backends will actually run when batched stepping is enabled.
         Ignored by a custom ``cost_fn``.
+    calibration:
+        A fitted :class:`~repro.calib.CalibrationModel`: the machine model is
+        replaced by its :meth:`~repro.cost.MachineCostModel.calibrated` copy,
+        so every prediction (and therefore every ordering and packing) uses
+        observed-corrected seconds. Equivalent to passing an already
+        calibrated model as ``machine=``.
     """
 
     def __init__(
         self, policy: str = "fifo", cost_fn=None, machine=_DEFAULT_MACHINE,
-        batch_stepping: bool = False,
+        batch_stepping: bool = False, calibration=None,
     ):
         if policy not in SCHEDULE_POLICIES:
             raise ValueError(
@@ -146,6 +183,8 @@ class Scheduler:
                 return predict_group_cost(configs, batch_stepping=_batched)
         self.cost_fn = cost_fn
         self.machine = MachineCostModel() if machine is _DEFAULT_MACHINE else machine
+        if calibration is not None and self.machine is not None:
+            self.machine = self.machine.calibrated(calibration)
 
     # ------------------------------------------------------------------
     def predict_cost(self, jobs) -> float:
@@ -167,6 +206,7 @@ class Scheduler:
         stay ``nan`` too, so a deliberately disabled cost model degrades every
         policy to expansion order instead of resurrecting a default.
         """
+        self._stamp_identity(group)
         if self.machine is None or not np.isfinite(group.predicted_cost):
             return
         try:
@@ -178,6 +218,28 @@ class Scheduler:
         group.predicted_seconds = float(estimate.seconds)
         group.predicted_energy_j = float(estimate.energy_joules)
         group.n_gpus = int(estimate.n_gpus)
+
+    def _stamp_identity(self, group: ScheduledGroup) -> None:
+        """Make the group's execution record self-describing (best-effort).
+
+        Machine preset, propagator and workload sizes are what a calibration
+        observation (:mod:`repro.calib`) needs to bucket the group without
+        re-expanding configs; a group whose jobs mix propagators (the group
+        key excludes them) is stamped ``propagator=None`` and only informs
+        the machine-wide bucket. Stamping failures leave fields ``None`` —
+        identity is provenance, never load-bearing for execution.
+        """
+        if self.machine is not None:
+            group.machine = machine_name(self.machine.system)
+        if not group.jobs:
+            return
+        names = {job.config.propagator.name for job in group.jobs}
+        group.propagator = names.pop() if len(names) == 1 else None
+        try:
+            n_bands, n_grid = workload_sizes(group.jobs[0].config)
+            group.n_bands, group.n_grid = int(n_bands), int(n_grid)
+        except Exception:
+            pass
 
     def _order_metric(self, group: ScheduledGroup) -> float:
         """What the cost-ordered policies sort by (energy for energy-aware,

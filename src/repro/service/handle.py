@@ -46,6 +46,10 @@ class SweepProgress:
         Completed so far (checkpointed — survives preemption).
     preemptions:
         Times the sweep gave its lease up to higher-priority work.
+    repacks:
+        Times the adaptive runner re-packed the sweep's remaining groups
+        after observed/predicted drift crossed the threshold (0 unless the
+        sweep runs with ``adaptive=True``).
     modeled_start, modeled_end:
         The sweep's span on the pool calendar, once finished.
     """
@@ -57,6 +61,7 @@ class SweepProgress:
     groups_done: int = 0
     jobs_done: int = 0
     preemptions: int = 0
+    repacks: int = 0
     modeled_start: float | None = None
     modeled_end: float | None = None
 
@@ -70,6 +75,7 @@ class SweepProgress:
             "jobs_done": self.jobs_done,
             "n_jobs": self.n_jobs,
             "preemptions": self.preemptions,
+            "repacks": self.repacks,
             "modeled_start": self.modeled_start,
             "modeled_end": self.modeled_end,
         }

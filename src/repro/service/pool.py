@@ -95,6 +95,13 @@ class Lease:
         return self._preempt.is_set()
 
     @property
+    def duration(self) -> float | None:
+        """Modeled seconds the lease held its nodes (``None`` while active).
+        Under adaptive re-planning this is where leases visibly shrink or
+        grow: the released segment is charged its re-priced seconds."""
+        return None if self.end is None else self.end - self.start
+
+    @property
     def rank_ids(self) -> tuple[int, ...]:
         """The disjoint global rank slots of this lease.
 
@@ -122,6 +129,7 @@ class Lease:
             "arrival": self.arrival,
             "start": self.start,
             "end": self.end,
+            "duration": self.duration,
         }
 
 

@@ -22,6 +22,20 @@ another, deterministic; their predicted seconds (the same numbers the
 so an un-preempted sweep occupies the pool for exactly its planned wall and
 the co-scheduled makespan of a set of campaigns is a prediction comparable
 against the serial sum of their plans.
+
+**Adaptive re-planning** (``adaptive=True``) closes the calibration loop
+mid-sweep, at the same group boundaries preemption already uses: each
+executed group's observed wall is compared against its prediction, and when
+the *spread* of observed/predicted ratios across completed groups exceeds
+``drift_threshold`` (some buckets mispredicted relative to others — a
+uniform bias cannot change any packing), a
+:class:`~repro.calib.CalibrationModel` is fitted from the completed groups,
+the remaining **unstarted** groups are re-priced and re-packed LPT onto the
+ranks (work stealing from over-predicted ranks), and the re-priced seconds
+flow into the lease's modeled duration — remaining leases shrink or grow
+accordingly. Completed groups are never reordered or re-run, and the
+re-pack touches only modeled accounting: group keys, ``config_hash`` and
+the physics export are untouched by construction.
 """
 
 from __future__ import annotations
@@ -33,11 +47,16 @@ import numpy as np
 
 from ..batch.report import SweepReport
 from ..batch.sweep import SweepSpec, group_jobs
+from ..calib import CalibrationModel, Observation
 from ..exec.backends import execute_group
 from ..exec.settings import ExecutionSettings
 from .pool import Lease, NodePool
 
 __all__ = ["SweepOutcome", "run_sweep"]
+
+#: default observed/predicted ratio spread (max/min over completed groups)
+#: beyond which the adaptive runner re-packs the remaining groups
+DEFAULT_DRIFT_THRESHOLD = 1.5
 
 
 def _finite(value) -> float | None:
@@ -47,15 +66,102 @@ def _finite(value) -> float | None:
 
 def _segment_seconds(segment, n_ranks: int) -> float:
     """Modeled duration of a lease's executed groups: the busiest virtual
-    rank's total predicted seconds under the scheduler's packing — for a full
-    un-preempted sweep this is exactly the planner's predicted wall."""
+    rank's total planned seconds under the scheduler's packing — for a full
+    un-preempted sweep this is exactly the planner's predicted wall.
+    ``planned_seconds`` prefers calibration-repriced values, so a re-packed
+    sweep's leases shrink or grow with the corrected pricing."""
     loads: dict[int, float] = {}
     for group in segment:
         rank = group.rank if group.rank is not None and 0 <= group.rank < n_ranks else 0
-        seconds = group.predicted_seconds
-        loads[rank] = loads.get(rank, 0.0) + (
-            float(seconds) if np.isfinite(seconds) else group.weight
+        loads[rank] = loads.get(rank, 0.0) + group.planned_seconds
+    return max(loads.values(), default=0.0)
+
+
+def _group_wall_seconds(results) -> float:
+    """Observed wall of one executed group (summed job wall times)."""
+    return sum(float(r.summary.get("wall_time") or 0.0) for r in results)
+
+
+def _observations_of(groups) -> list[Observation]:
+    """Calibration observations of executed groups (unusable ones dropped by
+    the fit itself — e.g. fully cached groups observing ~0 seconds)."""
+    return [
+        Observation(
+            machine=g.machine,
+            propagator=g.propagator,
+            n_bands=g.n_bands,
+            n_grid=g.n_grid,
+            gpus=int(g.n_gpus),
+            n_jobs=g.n_jobs,
+            predicted_seconds=float(g.predicted_seconds),
+            observed_seconds=float(g.observed_seconds),
+            group_index=g.index,
         )
+        for g in groups
+    ]
+
+
+def _drift_spread(groups) -> float | None:
+    """Spread (max/min) of observed/predicted ratios over executed groups.
+
+    ``None`` with fewer than two usable ratios — one observation cannot
+    witness *relative* misprediction, and a uniform bias (every ratio equal)
+    yields spread 1.0, which never crosses any threshold > 1: re-packing
+    only triggers when it could actually move the makespan.
+    """
+    ratios = [
+        float(g.observed_seconds) / float(g.predicted_seconds)
+        for g in groups
+        if np.isfinite(g.predicted_seconds) and g.predicted_seconds > 0
+        and np.isfinite(g.observed_seconds) and g.observed_seconds > 0
+    ]
+    if len(ratios) < 2:
+        return None
+    return max(ratios) / min(ratios)
+
+
+def _repack(completed, remaining, segment, n_ranks: int) -> CalibrationModel:
+    """Re-price and re-pack the remaining (unstarted) groups — work stealing.
+
+    Fits a :class:`~repro.calib.CalibrationModel` from the completed groups,
+    stamps each remaining group's :attr:`~repro.exec.ScheduledGroup.repriced_seconds`
+    (the model's prediction is left untouched — observations must keep
+    pairing it with reality), then re-packs LPT: remaining groups sorted by
+    descending corrected seconds, greedily placed on the least-loaded rank.
+    Starting loads are the current segment's executed groups at their
+    *observed* seconds — the time their ranks really spent, which is exactly
+    the imbalance work stealing corrects. Completed groups keep their ranks
+    and their order.
+    """
+    fit = CalibrationModel.fit(_observations_of(completed))
+    for group in remaining:
+        if np.isfinite(group.predicted_seconds) and group.predicted_seconds > 0:
+            group.repriced_seconds = float(group.predicted_seconds) * fit.scale_for(
+                group.machine, group.propagator
+            )
+    remaining.sort(key=lambda g: (-g.planned_seconds, g.index))
+    loads = [0.0] * n_ranks
+    for group in segment:
+        rank = group.rank if group.rank is not None and 0 <= group.rank < n_ranks else 0
+        elapsed = group.observed_seconds
+        loads[rank] += (
+            float(elapsed) if np.isfinite(elapsed) and elapsed > 0
+            else group.planned_seconds
+        )
+    for group in remaining:
+        rank = min(range(n_ranks), key=lambda r: (loads[r], r))
+        group.rank = rank
+        loads[rank] += group.planned_seconds
+    return fit
+
+
+def _rank_makespan(groups, rank_of: dict[int, int | None], seconds_of, n_ranks: int) -> float:
+    """Makespan of a packing: busiest rank's summed ``seconds_of(group)``."""
+    loads: dict[int, float] = {}
+    for group in groups:
+        rank = rank_of.get(group.index)
+        rank = rank if rank is not None and 0 <= rank < n_ranks else 0
+        loads[rank] = loads.get(rank, 0.0) + float(seconds_of(group))
     return max(loads.values(), default=0.0)
 
 
@@ -75,6 +181,9 @@ class SweepOutcome:
         Every lease the sweep held, in order (more than one ⇔ preempted).
     preemptions:
         How many times the sweep yielded its nodes to higher-priority work.
+    repacks:
+        How many times the adaptive runner re-packed the remaining groups
+        (0 without ``adaptive=True``).
     """
 
     report: SweepReport
@@ -82,6 +191,7 @@ class SweepOutcome:
     modeled_end: float
     leases: list[Lease] = field(default_factory=list)
     preemptions: int = 0
+    repacks: int = 0
 
 
 async def run_sweep(
@@ -98,6 +208,10 @@ async def run_sweep(
     raise_on_error: bool = False,
     share_ground_states: bool = True,
     progress=None,
+    calibration=None,
+    adaptive: bool = False,
+    drift_threshold: float = DEFAULT_DRIFT_THRESHOLD,
+    observe=None,
 ) -> SweepOutcome:
     """Execute one sweep under leases from ``pool``; see the module docstring.
 
@@ -113,16 +227,34 @@ async def run_sweep(
     of recomputed, no matter which sweep, campaign or tenant computed it —
     the incremental-campaign path. Without it, ``checkpoint_dir`` scopes
     persistence to one directory as before.
+
+    ``calibration`` (a fitted :class:`~repro.calib.CalibrationModel`)
+    re-prices the scheduler's machine model up front, so packing and pool
+    accounting use observed-corrected seconds — the same numbers a
+    ``CampaignPlanner(calibration=...)`` plan predicts. ``adaptive=True``
+    additionally re-fits *during* the sweep and re-packs the remaining
+    groups whenever drift on completed groups exceeds ``drift_threshold``
+    (see the module docstring). ``observe`` is a deterministic observation
+    hook for tests and benchmarks — called with each executed
+    :class:`~repro.exec.ScheduledGroup`, it returns the group's observed
+    seconds; by default the real summed job wall times are used.
     """
     scheduler = settings.scheduler()
+    if calibration is not None and scheduler.machine is not None:
+        scheduler.machine = scheduler.machine.calibrated(calibration)
     scheduled = scheduler.schedule(group_jobs(spec))
     scheduler.pack(scheduled, settings.ranks)
+    # the static packing, frozen before anything runs — what the adaptive
+    # accounting compares its re-packed makespan against
+    static_rank: dict[int, int | None] = {g.index: g.rank for g in scheduled}
     # the slice size the *pricing* actually used (per-config overrides win in
     # the cost model), mirroring CampaignPlanner._occupied_nodes
     priced_gpus = max((g.n_gpus for g in scheduled), default=settings.gpus_per_group)
 
     results = []
     leases: list[Lease] = []
+    completed = []
+    repack_events: list[dict] = []
     preemptions = 0
     cursor = pool.start_time if arrival is None else float(arrival)
     remaining = list(scheduled)
@@ -146,19 +278,39 @@ async def run_sweep(
                 if segment and lease.preempt_requested:
                     break  # yield the nodes; ≥1 group per lease prevents livelock
                 group = remaining.pop(0)
-                results.extend(
-                    execute_group(
-                        group.jobs,
-                        checkpoint_dir,
-                        raise_on_error,
-                        share_ground_states=share_ground_states,
-                        store=store,
-                    )
+                group_results = execute_group(
+                    group.jobs,
+                    checkpoint_dir,
+                    raise_on_error,
+                    share_ground_states=share_ground_states,
+                    store=store,
                 )
+                group.observed_seconds = (
+                    float(observe(group)) if observe is not None
+                    else _group_wall_seconds(group_results)
+                )
+                results.extend(group_results)
                 segment.append(group)
+                completed.append(group)
                 if progress is not None:
                     progress.groups_done += 1
                     progress.jobs_done += group.n_jobs
+                if adaptive and remaining:
+                    drift = _drift_spread(completed)
+                    if drift is not None and drift > drift_threshold:
+                        fit = _repack(completed, remaining, segment, settings.ranks)
+                        repack_events.append(
+                            {
+                                "after_groups": len(completed),
+                                "drift": drift,
+                                "scales": {
+                                    f"{f.machine or '?'}/{f.propagator or '*'}": f.scale
+                                    for f in fit.factors
+                                },
+                            }
+                        )
+                        if progress is not None:
+                            progress.repacks = len(repack_events)
         finally:
             pool.release(lease, _segment_seconds(segment, settings.ranks))
             leases.append(lease)
@@ -189,6 +341,12 @@ async def run_sweep(
                 "predicted_energy_j": _finite(g.predicted_energy_j),
                 "n_gpus": g.n_gpus,
                 "rank": g.rank,
+                "machine": g.machine,
+                "propagator": g.propagator,
+                "n_bands": g.n_bands,
+                "n_grid": g.n_grid,
+                "observed_seconds": _finite(g.observed_seconds),
+                "repriced_seconds": _finite(g.repriced_seconds),
             }
             for g in scheduled
         ],
@@ -198,6 +356,33 @@ async def run_sweep(
         "modeled_start": modeled_start,
         "modeled_end": modeled_end,
     }
+    if calibration is not None and not getattr(calibration, "is_empty", False):
+        execution["calibration"] = calibration.as_dict()
+    if adaptive:
+        record = {
+            "enabled": True,
+            "drift_threshold": float(drift_threshold),
+            "repacks": len(repack_events),
+            "events": repack_events,
+        }
+        final_fit = CalibrationModel.fit(_observations_of(completed))
+        if repack_events and not final_fit.is_empty:
+            # the what-if the re-pack is judged by: both packings priced with
+            # the final fitted (observed-corrected) seconds
+            def corrected(group) -> float:
+                if np.isfinite(group.predicted_seconds) and group.predicted_seconds > 0:
+                    return float(group.predicted_seconds) * final_fit.scale_for(
+                        group.machine, group.propagator
+                    )
+                return group.planned_seconds
+
+            record["static_modeled_makespan_s"] = _rank_makespan(
+                scheduled, static_rank, corrected, settings.ranks
+            )
+            record["adaptive_modeled_makespan_s"] = _rank_makespan(
+                scheduled, {g.index: g.rank for g in scheduled}, corrected, settings.ranks
+            )
+        execution["adaptive"] = record
     if store is not None or checkpoint_dir is not None:
         # cached-vs-computed provenance; execution summaries are already
         # excluded from the deterministic physics export
@@ -219,4 +404,5 @@ async def run_sweep(
         modeled_end=modeled_end,
         leases=leases,
         preemptions=preemptions,
+        repacks=len(repack_events),
     )

@@ -14,6 +14,15 @@ makespan beats the serial sum of their plans whenever capacity allows.
 Priorities are enforced by the pool: a higher-priority arrival reclaims
 leases at group boundaries, and the preempted sweeps resume from their
 checkpoints.
+
+The service is also where the **calibration loop** closes (see
+:mod:`repro.calib`): when it holds a store, every finished sweep's execution
+record is distilled into observations appended to the store's
+``calibration/observations.jsonl``, and ``calibration="store"`` fits a
+:class:`~repro.calib.CalibrationModel` from that log at admission time, so
+each new campaign is planned, priced and leased with observed-corrected
+seconds. ``adaptive=True`` additionally re-packs sweeps mid-flight when
+drift crosses the threshold (see :func:`repro.service.run_sweep`).
 """
 
 from __future__ import annotations
@@ -22,13 +31,15 @@ import asyncio
 import itertools
 import os
 import time
+import warnings
 
+from ..calib import CalibrationModel, ObservationLog, extract_observations
 from ..campaign.planner import CampaignPlanner, ExecutionPlan
 from ..campaign.report import CampaignReport
 from ..campaign.spec import Budget, CampaignSpec, InfeasibleBudgetError
 from .handle import CampaignHandle
 from .pool import NodePool
-from .runner import run_sweep
+from .runner import DEFAULT_DRIFT_THRESHOLD, run_sweep
 
 __all__ = ["CampaignService"]
 
@@ -52,9 +63,33 @@ class CampaignService:
         hit for a config any other tenant already computed, which is what
         makes re-submitted campaigns incremental. A per-submission ``store``
         overrides this.
+    calibration:
+        ``None`` (plan with the pristine cost model), a fitted
+        :class:`~repro.calib.CalibrationModel`, or the string ``"store"`` —
+        fit from the service store's observation log at each admission, so
+        the service prices new campaigns with everything it has observed so
+        far. ``"store"`` without a store (or with an empty log) degrades to
+        uncalibrated.
+    adaptive:
+        Default for per-submission ``adaptive``: re-pack sweeps mid-flight
+        when observed/predicted drift crosses ``drift_threshold`` (see
+        :func:`repro.service.run_sweep`). Physics-safe — re-packing moves
+        modeled accounting only, never group contents or order of completed
+        work.
+    drift_threshold:
+        Default observed/predicted ratio spread that triggers a re-pack.
     """
 
-    def __init__(self, pool: NodePool | None = None, *, checkpoint_dir=None, store=None):
+    def __init__(
+        self,
+        pool: NodePool | None = None,
+        *,
+        checkpoint_dir=None,
+        store=None,
+        calibration=None,
+        adaptive: bool = False,
+        drift_threshold: float = DEFAULT_DRIFT_THRESHOLD,
+    ):
         from ..store.store import ResultStore
 
         self.pool = NodePool() if pool is None else pool
@@ -62,15 +97,64 @@ class CampaignService:
         if store is not None and not isinstance(store, ResultStore):
             store = ResultStore(store)
         self.store = store
+        if calibration == "store":
+            pass  # resolved lazily at each admission, from the live log
+        elif calibration is not None and not isinstance(calibration, CalibrationModel):
+            raise ValueError(
+                "calibration must be None, a CalibrationModel, or the string "
+                f"'store', got {calibration!r}"
+            )
+        self.calibration = calibration
+        self.adaptive = bool(adaptive)
+        self.drift_threshold = float(drift_threshold)
         self.handles: list[CampaignHandle] = []
         self._names = itertools.count(1)
 
     # ------------------------------------------------------------------
+    # Calibration
+    # ------------------------------------------------------------------
+    def _resolve_calibration(self) -> CalibrationModel | None:
+        """The calibration to admit the next campaign under: the configured
+        model, or — for ``"store"`` — a fresh fit from the store's observation
+        log (``None`` when there is nothing to fit yet)."""
+        if self.calibration != "store":
+            return self.calibration
+        if self.store is None:
+            return None
+        observations = ObservationLog(self.store.root).load()
+        if not observations:
+            return None
+        fitted = CalibrationModel.fit(observations)
+        return None if fitted.is_empty else fitted
+
+    def _record_observations(self, report, sweep_name: str, store) -> None:
+        """Append the finished sweep's observations to the store's log.
+
+        Best-effort by design: the calibration loop must never fail a
+        campaign whose physics succeeded."""
+        if store is None:
+            return
+        try:
+            observations = extract_observations(report, sweep=sweep_name)
+            if observations:
+                ObservationLog(store.root).append(observations)
+        except Exception as exc:  # pragma: no cover - defensive
+            warnings.warn(
+                f"could not record calibration observations for sweep "
+                f"{sweep_name!r}: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+    # ------------------------------------------------------------------
     # Admission
     # ------------------------------------------------------------------
-    def _admit(self, campaign, budget, planner_options) -> ExecutionPlan:
+    def _admit(self, campaign, budget, planner_options, calibration=None) -> ExecutionPlan:
         """Turn any accepted campaign form into an admitted ExecutionPlan,
-        rejecting infeasible ones before a single group runs."""
+        rejecting infeasible ones before a single group runs. ``calibration``
+        re-prices the planner's cost models (already-planned ExecutionPlans
+        are submitted as priced — their plan, and its calibration or lack
+        thereof, is the caller's)."""
         if isinstance(campaign, ExecutionPlan):
             if budget is not None or planner_options:
                 raise ValueError(
@@ -102,6 +186,8 @@ class CampaignService:
         # plan *for this pool*: search only its machine, and never admit a
         # plan occupying more nodes than the pool can lease out
         planner_options.setdefault("machines", [self.pool.machine])
+        if calibration is not None:
+            planner_options.setdefault("calibration", calibration)
         capped = spec.budget
         if capped.max_nodes is None or capped.max_nodes > self.pool.n_nodes:
             capped = capped.replace(max_nodes=self.pool.n_nodes)
@@ -122,6 +208,8 @@ class CampaignService:
         raise_on_error: bool = False,
         share_ground_states: bool = True,
         on_sweep_complete=None,
+        adaptive: bool | None = None,
+        drift_threshold: float | None = None,
         **planner_options,
     ) -> CampaignHandle:
         """Admit a campaign and start it; returns its handle immediately.
@@ -148,11 +236,16 @@ class CampaignService:
         store and only new/changed configs execute, with the hits stamped as
         ``"cached"`` provenance in the reports. It overrides the service-level
         store for this submission.
+
+        ``adaptive`` / ``drift_threshold`` override the service defaults for
+        this submission's sweeps (mid-flight re-packing on observed drift;
+        see :func:`repro.service.run_sweep`).
         """
         from ..store.store import ResultStore
 
         loop = asyncio.get_running_loop()  # raises RuntimeError outside a loop
-        plan = self._admit(campaign, budget, planner_options)
+        calibration = self._resolve_calibration()
+        plan = self._admit(campaign, budget, planner_options, calibration)
         if name is None:
             name = f"campaign-{next(self._names)}"
         if checkpoint_dir is None and self.checkpoint_dir is not None:
@@ -170,6 +263,11 @@ class CampaignService:
                 raise_on_error=raise_on_error,
                 share_ground_states=share_ground_states,
                 on_sweep_complete=on_sweep_complete,
+                adaptive=self.adaptive if adaptive is None else bool(adaptive),
+                drift_threshold=(
+                    self.drift_threshold if drift_threshold is None
+                    else float(drift_threshold)
+                ),
             ),
             name=f"repro.service:{name}",
         )
@@ -186,6 +284,8 @@ class CampaignService:
         raise_on_error: bool,
         share_ground_states: bool,
         on_sweep_complete,
+        adaptive: bool,
+        drift_threshold: float,
     ) -> CampaignReport:
         plan = handle.plan
         handle._state = "running"
@@ -210,12 +310,16 @@ class CampaignService:
                         raise_on_error=raise_on_error,
                         share_ground_states=share_ground_states,
                         progress=handle._progress[sweep_name],
+                        calibration=getattr(plan, "calibration", None),
+                        adaptive=adaptive,
+                        drift_threshold=drift_threshold,
                     )
                 finally:
                     # elapsed survives a mid-sweep failure, so partial reports
                     # keep the timings of everything that ran
                     handle._elapsed[sweep_name] = time.perf_counter() - start
                 handle._reports[sweep_name] = outcome.report
+                self._record_observations(outcome.report, sweep_name, store)
                 cursor = outcome.modeled_end
                 if on_sweep_complete is not None:
                     on_sweep_complete(sweep_name, outcome.report)

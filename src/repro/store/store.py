@@ -8,6 +8,9 @@ Layout (all under one root directory)::
                    gs-<gs_hash>.json       per-group ground-state index entries
       tmp/         in-flight writes (unique names, renamed into objects/)
       quarantine/  corrupt manifests/objects moved aside, never trusted again
+      calibration/ observations.jsonl — append-only predicted-vs-observed log
+                   (written by repro.calib.ObservationLog, same tmp-then-
+                   replace durability rule)
 
 Results are keyed by *content*, not by which sweep produced them:
 
@@ -117,6 +120,21 @@ class ResultStore:
     @property
     def tmp_dir(self) -> pathlib.Path:
         return self.root / "tmp"
+
+    @property
+    def calibration_dir(self) -> pathlib.Path:
+        """Where the calibration observation log lives (see
+        :meth:`observation_log`)."""
+        return self.root / "calibration"
+
+    def observation_log(self):
+        """The store's :class:`~repro.calib.ObservationLog` — the append-only
+        predicted-vs-observed record every sweep executed against this store
+        contributes to, and the input to
+        :meth:`repro.calib.CalibrationModel.fit`."""
+        from ..calib import ObservationLog
+
+        return ObservationLog(self.root)
 
     @property
     def quarantine_dir(self) -> pathlib.Path:

@@ -1,0 +1,116 @@
+"""Observation extraction from real reports and the append-only log."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.batch import BatchRunner, SweepSpec
+from repro.calib import CalibrationModel, Observation, ObservationLog, extract_observations
+from repro.exec import ExecutionSettings
+from repro.store import ResultStore
+
+
+@pytest.fixture()
+def executed_report(tiny_config):
+    """A really-executed two-group sweep whose execution summary carries the
+    stamped identity + observed-seconds fields."""
+    spec = SweepSpec(tiny_config, {"basis.ecut": [1.5, 2.0]})
+    settings = ExecutionSettings(machine="summit", schedule="makespan_balanced")
+    return BatchRunner(spec, settings=settings).run()
+
+
+class TestExtraction:
+    def test_sweep_report_observations_are_self_describing(self, executed_report):
+        observations = extract_observations(executed_report, sweep="cutoff")
+        assert len(observations) == 2
+        for obs in observations:
+            assert obs.ok
+            assert obs.machine == "summit"
+            assert obs.propagator == "ptcn"  # the tiny config's default
+            assert obs.n_bands and obs.n_bands > 0
+            assert obs.n_grid and obs.n_grid > 0
+            assert obs.n_jobs == 1
+            assert obs.sweep == "cutoff"
+            assert obs.predicted_seconds > 0
+            assert obs.observed_seconds > 0
+
+    def test_extraction_feeds_a_fit(self, executed_report):
+        model = CalibrationModel.fit(extract_observations(executed_report))
+        assert not model.is_empty
+        assert model.scale_for("summit", "ptcn") > 0
+
+    def test_raw_execution_dict(self, executed_report):
+        observations = extract_observations(executed_report.execution)
+        assert len(observations) == 2
+
+    def test_unusable_groups_are_skipped(self):
+        execution = {
+            "groups": [
+                {"index": 0, "predicted_seconds": 1.0},  # no observation
+                {"index": 1, "predicted_seconds": 1.0, "observed_seconds": 0.0},
+                {"index": 2, "predicted_seconds": 2.0, "observed_seconds": 3.0,
+                 "machine": "summit"},
+                None,  # malformed record
+            ]
+        }
+        observations = extract_observations(execution)
+        assert [obs.group_index for obs in observations] == [2]
+
+
+class TestObservationLog:
+    def test_append_load_round_trip(self, tmp_path):
+        log = ObservationLog(tmp_path)
+        first = [
+            Observation(machine="summit", propagator="ptcn",
+                        predicted_seconds=1.0, observed_seconds=2.0),
+        ]
+        second = [
+            Observation(machine="summit", propagator="rk4",
+                        predicted_seconds=3.0, observed_seconds=3.0, sweep="dt"),
+        ]
+        assert log.append(first) == 1
+        assert log.append(second) == 1
+        loaded = log.load()
+        assert loaded == first + second
+        assert len(log) == 2
+        assert log.path == tmp_path / "calibration" / "observations.jsonl"
+
+    def test_accepts_a_result_store(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        log = store.observation_log()
+        assert isinstance(log, ObservationLog)
+        assert log.path.parent == store.calibration_dir
+        log.append([Observation(machine="summit", predicted_seconds=1.0,
+                                observed_seconds=1.5)])
+        # a second handle over the same store reads the same log
+        assert len(ObservationLog(store)) == 1
+
+    def test_empty_append_is_a_no_op(self, tmp_path):
+        log = ObservationLog(tmp_path)
+        assert log.append([]) == 0
+        assert not log.path.exists()
+
+    def test_corrupt_lines_are_skipped(self, tmp_path):
+        log = ObservationLog(tmp_path)
+        log.append([Observation(machine="summit", predicted_seconds=1.0,
+                                observed_seconds=2.0)])
+        with log.path.open("a") as fh:
+            fh.write("{this is not json\n")
+            fh.write(json.dumps({"machine": "frontier", "predicted_seconds": 2.0,
+                                 "observed_seconds": 2.0}) + "\n")
+        loaded = log.load()
+        assert len(loaded) == 2
+        assert {obs.machine for obs in loaded} == {"summit", "frontier"}
+
+    def test_unknown_keys_are_ignored_on_load(self, tmp_path):
+        log = ObservationLog(tmp_path)
+        log.directory.mkdir(parents=True)
+        log.path.write_text(json.dumps({
+            "machine": "summit", "predicted_seconds": 1.0,
+            "observed_seconds": 2.0, "future_field": [1, 2, 3],
+        }) + "\n")
+        (loaded,) = log.load()
+        assert loaded.machine == "summit"
+        assert loaded.ratio == pytest.approx(2.0)

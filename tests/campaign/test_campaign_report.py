@@ -188,3 +188,43 @@ class TestFailurePaths:
         assert "partial: 1 of 2 sweeps reported" in table
         with pytest.raises(KeyError, match="unknown sweep"):
             partial["mixed"]
+
+    def test_malformed_per_rank_stats_degrade_to_summed_walls(self, small_campaign):
+        """A crashed rank may leave its per-rank stats entry missing or not
+        even a dict; the observed makespan must degrade to the summed job
+        walls instead of raising mid-plan_table."""
+        executed = plan(small_campaign).execute()
+        report = executed["cutoff"]
+        summed = sum(float(r.summary.get("wall_time") or 0.0) for r in report.results)
+
+        for per_rank in ([], [None], [None, "not-a-dict"], None):
+            report.execution["per_rank"] = per_rank
+            assert executed.observed_wall_seconds("cutoff") == pytest.approx(summed)
+            assert executed.plan_table()  # renders, never raises
+
+        # partially-present stats still use the surviving rank entries
+        report.execution["per_rank"] = [None, {"observed_seconds": 123.0}]
+        assert executed.observed_wall_seconds("cutoff") == pytest.approx(123.0)
+
+
+class TestDriftColumn:
+    def test_drift_column_renders_observed_over_predicted(self, small_campaign):
+        report = plan(small_campaign).execute()
+        table = report.plan_table()
+        assert "drift" in table.splitlines()[0]
+        for name in report.sweep_names:
+            row = next(
+                line for line in table.splitlines() if line.startswith(name)
+            )
+            assert "x" in row  # some finite ratio rendered
+        # uncalibrated plan: provenance says so in the footer
+        assert "uncalibrated" in table
+
+    def test_drift_cell_dashes_without_a_usable_prediction(self):
+        from repro.campaign.report import _drift
+
+        assert _drift(None, 1.0) == "-"
+        assert _drift("-", 1.0) == "-"
+        assert _drift(0.0, 1.0) == "-"
+        assert _drift(2.0, -1.0) == "-"
+        assert _drift(2.0, 5.0) == "2.5x"

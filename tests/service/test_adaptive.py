@@ -1,0 +1,212 @@
+"""Adaptive mid-campaign re-planning: drift-triggered work stealing.
+
+The scenario is the skewed sweep of the PR's acceptance criterion: four
+single-propagator ground-state groups (propagator zipped against cutoff so
+the group key separates them), two ranks, and a deterministic ``observe``
+hook that makes every ptcn group run 3x its prediction while rk4 groups run
+exactly as predicted. The static pack balances the *predicted* seconds —
+pairing the two ptcn groups on one rank — so re-packing on the fitted
+calibration must steal work and strictly beat it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.batch import BatchRunner, SweepSpec
+from repro.exec import ExecutionSettings
+from repro.service import NodePool
+from repro.service.runner import run_sweep
+
+#: the synthetic truth: ptcn groups run 3x their prediction, rk4 exactly 1x
+SKEW = {"ptcn": 3.0, "rk4": 1.0}
+
+
+def skewed_observe(group):
+    return group.predicted_seconds * SKEW[group.propagator]
+
+
+@pytest.fixture()
+def skewed_spec(tiny_config) -> SweepSpec:
+    """Four single-propagator groups: cutoffs zipped with propagators, the
+    two ptcn groups sitting mid-cost so the static LPT pack pairs them."""
+    return SweepSpec(
+        tiny_config,
+        {
+            "basis.ecut": [2.4, 2.1, 1.8, 1.5],
+            "propagator.name": ["rk4", "ptcn", "ptcn", "rk4"],
+        },
+        mode="zip",
+    )
+
+
+@pytest.fixture()
+def settings() -> ExecutionSettings:
+    return ExecutionSettings(machine="summit", ranks=2, schedule="makespan_balanced")
+
+
+def run_adaptive(spec, settings, **kwargs):
+    async def body():
+        pool = NodePool("summit", n_nodes=1)
+        return await run_sweep(spec, settings, pool, observe=skewed_observe, **kwargs)
+
+    return asyncio.run(body())
+
+
+class TestAdaptiveRepack:
+    def test_drift_triggers_work_stealing_and_beats_the_static_plan(
+        self, skewed_spec, settings
+    ):
+        outcome = run_adaptive(skewed_spec, settings, adaptive=True)
+        assert outcome.repacks >= 1
+        record = outcome.report.execution["adaptive"]
+        assert record["enabled"] is True
+        assert record["repacks"] == outcome.repacks
+        assert len(record["events"]) == outcome.repacks
+        event = record["events"][0]
+        assert event["drift"] > record["drift_threshold"]
+        assert any(scale > 2.0 for scale in event["scales"].values())
+        # the acceptance inequality: re-packed makespan strictly below the
+        # static pack, both priced with the final fitted seconds
+        assert (
+            record["adaptive_modeled_makespan_s"]
+            < record["static_modeled_makespan_s"]
+        )
+
+    def test_remaining_groups_are_repriced_not_repredicted(self, skewed_spec, settings):
+        outcome = run_adaptive(skewed_spec, settings, adaptive=True)
+        groups = outcome.report.execution["groups"]
+        repriced = [g for g in groups if g["repriced_seconds"] is not None]
+        assert repriced  # the re-pack re-priced at least the stolen groups
+        for g in repriced:
+            # repriced = prediction x the fitted bucket scale; the prediction
+            # itself stays the cost model's own number — observations must
+            # keep pairing it with reality
+            assert g["repriced_seconds"] == pytest.approx(
+                g["predicted_seconds"] * SKEW[g["propagator"]]
+            )
+        for g in groups:
+            assert g["observed_seconds"] == pytest.approx(
+                g["predicted_seconds"] * SKEW[g["propagator"]]
+            )
+
+    def test_no_repack_below_threshold(self, skewed_spec, settings):
+        outcome = run_adaptive(
+            skewed_spec, settings, adaptive=True, drift_threshold=10.0
+        )
+        assert outcome.repacks == 0
+        record = outcome.report.execution["adaptive"]
+        assert record["repacks"] == 0
+        assert "static_modeled_makespan_s" not in record
+
+    def test_uniform_drift_never_triggers(self, skewed_spec, settings):
+        async def body():
+            pool = NodePool("summit", n_nodes=1)
+            return await run_sweep(
+                skewed_spec,
+                settings,
+                pool,
+                adaptive=True,
+                observe=lambda g: g.predicted_seconds * 5.0,  # uniformly slow
+            )
+
+        outcome = asyncio.run(body())
+        # every ratio equal → spread 1.0: nothing a re-pack could improve
+        assert outcome.repacks == 0
+
+    def test_adaptive_off_by_default(self, skewed_spec, settings):
+        outcome = run_adaptive(skewed_spec, settings)
+        assert outcome.repacks == 0
+        assert "adaptive" not in outcome.report.execution
+
+
+class TestServiceCalibrationLoop:
+    def test_observations_persist_and_recalibrate_admission(
+        self, skewed_spec, tiny_config, tmp_path
+    ):
+        """The full loop through CampaignService: a first campaign populates
+        the store's observation log; a second service over the same store
+        with calibration='store' admits its plan re-priced and stamps the
+        provenance."""
+        from repro.calib import ObservationLog
+        from repro.campaign import Budget, CampaignSpec
+        from repro.service import CampaignService
+        from repro.store import ResultStore
+
+        store = ResultStore(tmp_path / "store")
+        campaign = CampaignSpec({"skewed": skewed_spec}, budget=Budget(max_nodes=1))
+
+        cold_service = CampaignService(NodePool("summit", n_nodes=1), store=store)
+
+        async def cold_body():
+            return await cold_service.submit(campaign, name="cold").report()
+
+        cold_report = asyncio.run(cold_body())
+        assert cold_report.ok
+        log = ObservationLog(store)
+        observations = log.load()
+        assert len(observations) == 4  # one per executed group
+        assert {obs.sweep for obs in observations} == {"skewed"}
+        assert all(obs.ok and obs.machine == "summit" for obs in observations)
+
+        warm_service = CampaignService(
+            NodePool("summit", n_nodes=1), store=store, calibration="store"
+        )
+
+        async def warm_body():
+            handle = warm_service.submit(campaign, name="warm")
+            return handle, await handle.report()
+
+        handle, warm_report = asyncio.run(warm_body())
+        assert "calibration" in handle.plan.as_dict()
+        assert "calibrated from" in warm_report.plan_table()
+        # warm re-run is fully served from the store: identical physics
+        assert warm_report.n_cached == warm_report.n_jobs == 4
+        assert warm_report["skewed"].to_json(exclude_timings=True) == cold_report[
+            "skewed"
+        ].to_json(exclude_timings=True)
+
+    def test_calibration_argument_is_validated(self):
+        from repro.service import CampaignService
+
+        with pytest.raises(ValueError, match="calibration"):
+            CampaignService(calibration="bogus")
+
+
+class TestAdaptivePhysicsSafety:
+    def test_no_group_rerun_and_export_bit_identical(
+        self, skewed_spec, settings, count_scf_solves, count_propagation_steps
+    ):
+        """Re-packing moves accounting only: every SCF solves exactly once,
+        no propagation step runs twice, and the physics export is
+        bit-identical to the plain BatchRunner's."""
+        outcome = run_adaptive(skewed_spec, settings, adaptive=True)
+        assert outcome.repacks >= 1
+        scfs_adaptive = len(count_scf_solves)
+        steps_adaptive = sum(count_propagation_steps)
+        assert scfs_adaptive == 4  # one per ground-state group, none redone
+
+        del count_scf_solves[:]
+        del count_propagation_steps[:]
+        hand = BatchRunner(skewed_spec, settings=settings).run()
+        assert len(count_scf_solves) == scfs_adaptive
+        assert sum(count_propagation_steps) == steps_adaptive
+
+        assert outcome.report.to_json(exclude_timings=True) == hand.to_json(
+            exclude_timings=True
+        )
+
+    def test_completed_groups_keep_rank_and_order(self, skewed_spec, settings):
+        """The groups executed before the re-pack are untouched by it."""
+        static = run_adaptive(skewed_spec, settings)  # adaptive off
+        adaptive = run_adaptive(skewed_spec, settings, adaptive=True)
+        n_before = adaptive.report.execution["adaptive"]["events"][0]["after_groups"]
+        static_by_index = {
+            g["index"]: g for g in static.report.execution["groups"]
+        }
+        done_first = adaptive.report.execution["groups"][:n_before]
+        for g in done_first:
+            assert g["rank"] == static_by_index[g["index"]]["rank"]
+            assert g["repriced_seconds"] is None
