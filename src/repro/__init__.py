@@ -68,7 +68,7 @@ __version__ = "1.1.0"
 #: Subpackages resolved lazily via module ``__getattr__`` (PEP 562).
 _SUBPACKAGES = (
     "pw", "core", "parallel", "machine", "perf", "analysis", "api", "batch", "exec", "cost", "campaign",
-    "service", "store", "calib",
+    "service", "store", "calib", "assets",
 )
 
 __all__ = ["constants", "__version__", *_SUBPACKAGES]

@@ -79,10 +79,14 @@ class SystemConfig:
     ----------
     structure:
         A :data:`repro.api.STRUCTURES` registry key, e.g. ``"hydrogen_molecule"``
-        or ``"silicon_supercell"``.
+        or ``"silicon_supercell"`` — or an ``asset:`` reference into the
+        :mod:`repro.assets` library, e.g.
+        ``"asset:structure/si-diamond-2x2x2@1"`` (asset content digests then
+        flow into job hashes and provenance).
     params:
         Keyword arguments forwarded to the structure factory (e.g.
-        ``{"box": 10.0, "bond_length": 1.4}`` or ``{"repeats": [2, 2, 3]}``).
+        ``{"box": 10.0, "bond_length": 1.4}`` or ``{"repeats": [2, 2, 3]}``);
+        for assets they override the payload's geometry parameters.
     """
 
     structure: str = "hydrogen_molecule"
@@ -165,10 +169,15 @@ class LaserConfig:
     ----------
     pulse:
         A :data:`repro.api.PULSES` registry key: ``"none"`` (field-free),
-        ``"gaussian"``, ``"paper"`` (the 380 nm pulse of Fig. 4b) or
-        ``"delta_kick"`` (absorption-spectrum preparation).
+        ``"gaussian"``, ``"paper"`` (the 380 nm pulse of Fig. 4b),
+        ``"delta_kick"`` (absorption-spectrum preparation),
+        ``"fluence_gaussian"`` or ``"pump_probe"`` — or an ``asset:``
+        reference, e.g. ``"asset:pulse/pump-probe-380+760@1"``.
     params:
-        Keyword arguments forwarded to the pulse factory.
+        Keyword arguments forwarded to the pulse factory; for assets they
+        merge over the payload's parameters, which is what makes
+        ``laser.params.fluence`` / ``laser.params.delay_as`` sweep axes
+        compose with pulse assets.
     """
 
     pulse: str = "none"

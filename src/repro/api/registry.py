@@ -15,14 +15,21 @@ point without touching the session driver:
         return MyScheme(hamiltonian, **params)
 
 Unknown names raise :class:`UnknownNameError` whose message lists every
-registered name, so typos in configs fail with an actionable error.
-Registering a name (or alias) that is already taken raises
-:class:`DuplicateNameError` unless ``overwrite=True`` is passed, so two
-plugins cannot silently shadow each other.
+registered name plus did-you-mean suggestions, so typos in configs fail with
+an actionable error. Registering a name (or alias) that is already taken
+raises :class:`DuplicateNameError` unless ``overwrite=True`` is passed, so
+two plugins cannot silently shadow each other.
+
+Beyond registered names, the structure and pulse registries resolve
+``asset:<kind>/<name>@<version>`` references through the
+:mod:`repro.assets` library (e.g. ``{"structure":
+"asset:structure/si-diamond-2x2x2@1"}``); registries remain the
+compatibility path for plain names.
 """
 
 from __future__ import annotations
 
+import difflib
 from typing import Callable
 
 from ..constants import attoseconds_to_au
@@ -32,7 +39,13 @@ from ..core.propagators import (
     PTCNPropagator,
     RK4Propagator,
 )
-from ..pw.laser import DeltaKick, GaussianLaserPulse, paper_laser_pulse
+from ..pw.laser import (
+    DeltaKick,
+    GaussianLaserPulse,
+    fluence_gaussian_pulse,
+    paper_laser_pulse,
+    pump_probe_pulse,
+)
 from ..pw.structures import (
     diamond_silicon,
     hydrogen_chain,
@@ -75,10 +88,16 @@ class Registry:
     ----------
     kind:
         Human-readable singular noun for error messages (e.g. ``"propagator"``).
+    asset_kind:
+        When set (``"structure"`` / ``"pulse"``), names starting with
+        ``asset:`` resolve through :func:`repro.assets.default_library`
+        instead of the registered factories, restricted to assets of that
+        kind. ``None`` (the default) keeps the registry purely name-based.
     """
 
-    def __init__(self, kind: str):
+    def __init__(self, kind: str, asset_kind: str | None = None):
         self.kind = kind
+        self.asset_kind = asset_kind
         self._factories: dict[str, Callable] = {}
 
     # ------------------------------------------------------------------
@@ -130,7 +149,16 @@ class Registry:
         return name in self._factories
 
     def get(self, name: str) -> Callable:
-        """The factory registered under ``name``."""
+        """The factory registered under ``name``.
+
+        On an asset-aware registry, ``asset:<id>`` names resolve to the
+        asset library's build factory for that id (the asset must exist and
+        be of this registry's kind — resolution fails fast at config
+        validation, not at build time).
+        """
+        asset_factory = self._asset_factory(name)
+        if asset_factory is not None:
+            return asset_factory
         try:
             return self._factories[name]
         except KeyError:
@@ -140,17 +168,45 @@ class Registry:
         """Instantiate the component registered under ``name``."""
         return self.get(name)(*args, **kwargs)
 
+    def _asset_factory(self, name: str) -> Callable | None:
+        from ..assets import ASSET_PREFIX, default_library
+
+        if not isinstance(name, str) or not name.startswith(ASSET_PREFIX):
+            return None
+        if self.asset_kind is None:
+            raise UnknownNameError(
+                f"{self.kind} names cannot be asset references ({name!r}); "
+                f"registered {self.kind}s: " + ", ".join(self.names())
+            )
+        from ..assets import AssetError
+
+        ref = name[len(ASSET_PREFIX):]
+        try:
+            return default_library().factory(ref, expected_kind=self.asset_kind)
+        except (AssetError, KeyError) as exc:
+            # keep the registry's error contract: bad names raise UnknownNameError
+            raise UnknownNameError(str(exc)) from None
+
     def _missing_message(self, name: str) -> str:
-        return (
-            f"unknown {self.kind} {name!r}; registered {self.kind}s: "
-            + ", ".join(self.names())
-        )
+        message = f"unknown {self.kind} {name!r}"
+        close = difflib.get_close_matches(str(name), self.names(), n=3, cutoff=0.6)
+        if close:
+            message += "; did you mean " + " or ".join(repr(c) for c in close) + "?"
+        message += f"; registered {self.kind}s: " + ", ".join(self.names())
+        if self.asset_kind is not None:
+            message += (
+                f" ('asset:{self.asset_kind}/...' references resolve through "
+                "the repro.assets library)"
+            )
+        return message
 
 
-#: Structures addressable from :class:`repro.api.SystemConfig`.
-STRUCTURES = Registry("structure")
-#: Laser pulses / kicks addressable from :class:`repro.api.LaserConfig`.
-PULSES = Registry("laser pulse")
+#: Structures addressable from :class:`repro.api.SystemConfig`; also resolves
+#: ``asset:structure/...`` ids through the asset library.
+STRUCTURES = Registry("structure", asset_kind="structure")
+#: Laser pulses / kicks addressable from :class:`repro.api.LaserConfig`; also
+#: resolves ``asset:pulse/...`` ids through the asset library.
+PULSES = Registry("laser pulse", asset_kind="pulse")
 #: Time propagators addressable from :class:`repro.api.PropagatorConfig`.
 PROPAGATORS = Registry("propagator")
 
@@ -231,6 +287,8 @@ def _build_gaussian_pulse(
 
 PULSES.register("paper", paper_laser_pulse, aliases=("paper_380nm",))
 PULSES.register("delta_kick", DeltaKick, aliases=("kick",))
+PULSES.register("fluence_gaussian", fluence_gaussian_pulse)
+PULSES.register("pump_probe", pump_probe_pulse)
 
 
 # ---------------------------------------------------------------------------

@@ -252,7 +252,25 @@ class Session:
             # stamped only off the default tier: complex128 provenance stays
             # byte-identical to what stores and goldens already hold
             metadata["precision"] = request["precision"]
+        assets = self._asset_provenance()
+        if assets:
+            # asset-driven configs carry id -> content digest, so archived
+            # trajectories pin exactly which payload versions produced them
+            metadata["assets"] = assets
         return metadata
+
+    def _asset_provenance(self) -> dict:
+        """``asset:`` reference -> sha256 for every asset this config names
+        (``{}`` for registry-only configs, keeping their metadata unchanged)."""
+        refs = [self.config.system.structure, self.config.laser.pulse]
+        provenance = {}
+        for name in refs:
+            if not isinstance(name, str) or not name.startswith("asset:"):
+                continue
+            from ..assets import default_library
+
+            provenance[name] = default_library().digest(name[len("asset:"):])
+        return provenance
 
     def _store_trajectory(self, request: dict, scheme, trajectory: Trajectory) -> None:
         self._trajectories[request["key"]] = trajectory

@@ -1,0 +1,139 @@
+"""``python -m repro.assets`` — inventory / verify / describe / materialize.
+
+Examples::
+
+    python -m repro.assets inventory
+    python -m repro.assets inventory --kind pulse --json
+    python -m repro.assets verify
+    python -m repro.assets describe pulse/pump-probe-380+760@1
+    python -m repro.assets materialize ./my-assets
+    python -m repro.assets verify --root ./my-assets
+    python -m repro.assets pin        # regenerate builtin digest pins
+
+``--root DIR`` points any subcommand at a materialised library instead of the
+builtin catalog. ``verify`` exits 1 when any asset fails its digest, pin, or
+build check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .builtin import PINNED_DIGESTS
+from .library import AssetLibrary, default_library
+from .manifest import ASSET_KINDS, AssetError, UnknownAssetError
+
+__all__ = ["main"]
+
+
+def _load_library(args) -> AssetLibrary:
+    if getattr(args, "root", None):
+        return AssetLibrary.open(args.root)
+    return default_library()
+
+
+def _cmd_inventory(args) -> int:
+    library = _load_library(args)
+    rows = [library.record(ref).as_dict() for ref in library.ids(args.kind)]
+    if args.json:
+        print(json.dumps({"assets": rows}, indent=2))
+        return 0
+    if not rows:
+        print("no assets" + (f" of kind {args.kind!r}" if args.kind else ""))
+        return 0
+    width = max(len(row["id"]) for row in rows)
+    for row in rows:
+        print(f"{row['id']:<{width}}  {row['sha256'][:12]}  {row['description']}")
+    print(f"{len(rows)} asset(s)")
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    library = _load_library(args)
+    report = library.verify()
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        for problem in report["problems"]:
+            print(f"FAIL {problem['id']}: {problem['error']}", file=sys.stderr)
+        status = "ok" if report["ok"] else "FAILED"
+        print(f"verify {status}: {report['checked']} asset(s) checked, "
+              f"{len(report['problems'])} problem(s)")
+    return 0 if report["ok"] else 1
+
+
+def _cmd_describe(args) -> int:
+    library = _load_library(args)
+    print(json.dumps(library.describe(args.id), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_materialize(args) -> int:
+    library = _load_library(args)
+    root = library.materialize(args.dest)
+    print(f"materialized {len(library.manifest)} asset(s) under {root}")
+    return 0
+
+
+def _cmd_pin(args) -> int:
+    """Print the PINNED_DIGESTS literal for the current builtin catalog."""
+    library = default_library()
+    lines = ["PINNED_DIGESTS: dict[str, str] = {"]
+    for ref in library.ids():
+        lines.append(f'    "{ref}": "{library.digest(ref)}",')
+    lines.append("}")
+    text = "\n".join(lines)
+    print(text)
+    current = {ref: library.digest(ref) for ref in library.ids()}
+    if current != PINNED_DIGESTS:
+        print("\n# pins differ from repro/assets/builtin.py — update if intentional",
+              file=sys.stderr)
+        return 1 if args.check else 0
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.assets",
+        description="Inspect and verify the repro asset library.",
+    )
+    parser.add_argument(
+        "--root", default=None,
+        help="operate on a materialised library directory instead of the builtin catalog",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_inv = sub.add_parser("inventory", help="list assets (id, digest, description)")
+    p_inv.add_argument("--kind", choices=ASSET_KINDS, default=None)
+    p_inv.add_argument("--json", action="store_true")
+    p_inv.set_defaults(func=_cmd_inventory)
+
+    p_verify = sub.add_parser("verify", help="check digests, pins, and builds")
+    p_verify.add_argument("--json", action="store_true")
+    p_verify.set_defaults(func=_cmd_verify)
+
+    p_desc = sub.add_parser("describe", help="show one asset's metadata + payload")
+    p_desc.add_argument("id", help="asset id, e.g. pulse/pump-probe-380+760@1")
+    p_desc.set_defaults(func=_cmd_describe)
+
+    p_mat = sub.add_parser("materialize", help="write manifest + payloads to a directory")
+    p_mat.add_argument("dest", help="target directory")
+    p_mat.set_defaults(func=_cmd_materialize)
+
+    p_pin = sub.add_parser("pin", help="print the builtin PINNED_DIGESTS literal")
+    p_pin.add_argument("--check", action="store_true",
+                       help="exit 1 if the pins in builtin.py are stale")
+    p_pin.set_defaults(func=_cmd_pin)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (AssetError, UnknownAssetError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1

@@ -79,6 +79,11 @@ class JobResult:
         precision = trajectory.metadata.get("precision")
         if precision is not None:
             summary["precision"] = str(precision)
+        # asset-driven jobs carry id -> content digest provenance (absent for
+        # registry-only configs, keeping their summaries byte-identical)
+        assets = trajectory.metadata.get("assets")
+        if assets:
+            summary["assets"] = dict(assets)
         return cls(
             index=job.index,
             job_id=job.job_id,

@@ -50,6 +50,33 @@ _PROPAGATION_ONLY_RUN_FIELDS = ("time_step_as", "n_steps", "schedule", "machine"
 _EXECUTION_ONLY_RUN_FIELDS = ("schedule", "machine")
 
 
+def _asset_digest_overlay(data: dict) -> dict:
+    """Map ``asset:`` reference -> content digest for every asset a config
+    dict names, or ``{}`` when it names none.
+
+    Overlaying these digests onto the hashed payload keeps
+    :func:`config_hash` (and hence store keys and checkpoint ids)
+    *content-true* for asset-driven configs: an asset version whose payload
+    changes produces new hashes even though the config text is unchanged.
+    Configs without ``asset:`` references hash exactly as before.
+    """
+    refs = []
+    system = data.get("system")
+    if isinstance(system, dict):
+        refs.append(system.get("structure"))
+    laser = data.get("laser")
+    if isinstance(laser, dict):
+        refs.append(laser.get("pulse"))
+    overlay = {}
+    for name in refs:
+        if not isinstance(name, str) or not name.startswith("asset:"):
+            continue
+        from ..assets import default_library
+
+        overlay[name] = default_library().digest(name[len("asset:"):])
+    return overlay
+
+
 def config_hash(config: SimulationConfig | dict) -> str:
     """Short stable hash of a config (dict form), for checkpoint staleness checks.
 
@@ -57,6 +84,10 @@ def config_hash(config: SimulationConfig | dict) -> str:
     and machine modeling only decide *when* and *on what modeled hardware* a
     job runs, never what it computes, so rerunning a sweep under a different
     policy or machine must keep every job id and checkpoint valid.
+
+    Configs referencing ``asset:`` ids additionally fold the assets' content
+    digests into the hash (see :func:`_asset_digest_overlay`), so store keys
+    track asset *content*, not just the id string.
     """
     data = config.to_dict() if isinstance(config, SimulationConfig) else config
     if isinstance(data.get("run"), dict) and set(data["run"]) & set(_EXECUTION_ONLY_RUN_FIELDS):
@@ -64,6 +95,9 @@ def config_hash(config: SimulationConfig | dict) -> str:
             **data,
             "run": {k: v for k, v in data["run"].items() if k not in _EXECUTION_ONLY_RUN_FIELDS},
         }
+    assets = _asset_digest_overlay(data)
+    if assets:
+        data = {**data, "assets": assets}
     text = json.dumps(data, sort_keys=True, default=str)
     return hashlib.sha1(text.encode()).hexdigest()[:12]
 
@@ -75,11 +109,15 @@ def ground_state_group_key(config: SimulationConfig) -> str:
     treatment, laser and ground-state SCF parameters — they may differ only in
     the propagator and in the propagation-only run fields, so their jobs can
     share one converged ground state (and one :class:`~repro.api.Session`).
+    Asset content digests are folded in like :func:`config_hash` does.
     """
     data = config.to_dict()
     data.pop("propagator")
     for name in _PROPAGATION_ONLY_RUN_FIELDS:
         data["run"].pop(name)
+    assets = _asset_digest_overlay(data)
+    if assets:
+        data = {**data, "assets": assets}
     return json.dumps(data, sort_keys=True, default=str)
 
 

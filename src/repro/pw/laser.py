@@ -10,6 +10,7 @@ provided, which is the standard way to compute absorption spectra in rt-TDDFT).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -18,16 +19,31 @@ from ..constants import (
     ATTOSECOND_TO_AU_TIME,
     FEMTOSECOND_TO_AU_TIME,
     PAPER_LASER_WAVELENGTH_NM,
+    SPEED_OF_LIGHT_AU,
     wavelength_nm_to_energy_hartree,
 )
 from .grid import FFTGrid
 
-__all__ = ["GaussianLaserPulse", "DeltaKick", "paper_laser_pulse", "sawtooth_position"]
+__all__ = [
+    "GaussianLaserPulse",
+    "PumpProbePulse",
+    "DeltaKick",
+    "paper_laser_pulse",
+    "fluence_to_amplitude",
+    "fluence_gaussian_pulse",
+    "pump_probe_pulse",
+    "sawtooth_position",
+]
 
 # (id(grid), direction bytes) -> (grid, read-only position array); the grid
 # reference keeps the id stable, the array is shared between dipole recording
-# and length-gauge coupling, both of which rebuild it every call otherwise
-_SAWTOOTH_CACHE: dict = {}
+# and length-gauge coupling, both of which rebuild it every call otherwise.
+# A small LRU (recently-used entries re-ranked on every hit, oldest evicted
+# beyond _SAWTOOTH_CACHE_SIZE) keeps the footprint bounded across many-asset
+# campaigns that create a fresh grid per job, while one job's repeated
+# lookups — the case the cache exists for — always stay resident.
+_SAWTOOTH_CACHE: OrderedDict[tuple, tuple] = OrderedDict()
+_SAWTOOTH_CACHE_SIZE = 16
 
 
 def sawtooth_position(grid: FFTGrid, direction: np.ndarray) -> np.ndarray:
@@ -48,15 +64,19 @@ def sawtooth_position(grid: FFTGrid, direction: np.ndarray) -> np.ndarray:
     key = (id(grid), direction.tobytes())
     hit = _SAWTOOTH_CACHE.get(key)
     if hit is not None and hit[0] is grid:
+        _SAWTOOTH_CACHE.move_to_end(key)
         return hit[1]
+    if hit is not None:
+        # id() was reused by a new grid object: the entry is stale, drop it
+        del _SAWTOOTH_CACHE[key]
     points = grid.real_space_points  # (n1, n2, n3, 3)
     projection = points @ direction
     # centre around zero: subtract the mean so the sawtooth ramps from -L/2 to L/2
     position = projection - float(np.mean(projection))
     position.flags.writeable = False
-    if len(_SAWTOOTH_CACHE) > 32:
-        _SAWTOOTH_CACHE.clear()
     _SAWTOOTH_CACHE[key] = (grid, position)
+    while len(_SAWTOOTH_CACHE) > _SAWTOOTH_CACHE_SIZE:
+        _SAWTOOTH_CACHE.popitem(last=False)
     return position
 
 
@@ -163,6 +183,166 @@ class DeltaKick:
     def apply(self, grid: FFTGrid, psi_real: np.ndarray) -> np.ndarray:
         """Apply the kick to real-space orbital values (broadcasts over bands)."""
         return psi_real * self.phase_factor(grid)[None, ...]
+
+
+@dataclass
+class PumpProbePulse:
+    """A two-pulse pump–probe field: the sum of two Gaussian-envelope pulses.
+
+    ``E(t) = E_pump(t) + E_probe(t)`` with the probe centred ``delay`` atomic
+    time units after the pump. The pulses may be polarised differently; the
+    length-gauge coupling then sums one sawtooth-position potential per
+    component. This is the scenario axis the asset library's
+    ``pulse/pump-probe-*`` entries expose: sweeping ``delay`` maps out the
+    transient response, sweeping the pump fluence the excitation density.
+
+    Attributes
+    ----------
+    pump:
+        The pump :class:`GaussianLaserPulse`.
+    probe:
+        The probe :class:`GaussianLaserPulse`; its ``t0`` is interpreted
+        relative to the pump's (``probe.t0 + delay`` would double-count), so
+        build it centred at the pump's ``t0`` and let ``delay`` shift it.
+    delay:
+        Pump→probe centre-to-centre delay in atomic time units (>= 0).
+    """
+
+    pump: GaussianLaserPulse
+    probe: GaussianLaserPulse
+    delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.pump, GaussianLaserPulse) or not isinstance(
+            self.probe, GaussianLaserPulse
+        ):
+            raise ValueError("pump and probe must be GaussianLaserPulse instances")
+        if self.delay < 0:
+            raise ValueError("delay must be non-negative")
+
+    # ------------------------------------------------------------------
+    def _probe_time(self, t):
+        return t - self.delay
+
+    def field_vector(self, t: float) -> np.ndarray:
+        """Total vector field ``E_pump(t) e_pump + E_probe(t - delay) e_probe``."""
+        return self.pump.field_vector(t) + self.probe.field_vector(self._probe_time(t))
+
+    def field(self, t: float) -> float:
+        """Scalar field along the *pump* polarisation (the probe's component
+        is projected onto it); exact for parallel polarisations."""
+        return float(self.field_vector(t) @ self.pump.polarization)
+
+    def sample(self, times: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`field` values for an array of times."""
+        times = np.asarray(times, dtype=float)
+        probe_along_pump = float(self.probe.polarization @ self.pump.polarization)
+        return self.pump.sample(times) + probe_along_pump * self.probe.sample(
+            self._probe_time(times)
+        )
+
+    @property
+    def polarization(self) -> np.ndarray:
+        """The pump polarisation (what dipole records are projected on)."""
+        return self.pump.polarization
+
+    def potential_factory(self, grid: FFTGrid):
+        """``t -> V_ext(r, t)`` in the length gauge, one sawtooth per component."""
+        pump_position = sawtooth_position(grid, self.pump.polarization)
+        probe_position = sawtooth_position(grid, self.probe.polarization)
+
+        def v_ext(t: float) -> np.ndarray:
+            return self.pump.field(t) * pump_position + self.probe.field(
+                self._probe_time(t)
+            ) * probe_position
+
+        return v_ext
+
+
+def fluence_to_amplitude(fluence: float, sigma: float) -> float:
+    """Peak field ``E0`` of a Gaussian-envelope pulse with the given fluence.
+
+    The cycle-averaged intensity of ``E(t) = E0 exp(-(t-t0)^2/(2 sigma^2))
+    sin(omega t)`` is ``I(t) = c E_env(t)^2 / (8 pi)`` (atomic/Gaussian
+    units), so the fluence — the time-integrated intensity, in Hartree per
+    Bohr² — is ``F = (c / 8 pi) E0^2 sigma sqrt(pi)`` and
+
+    ``E0 = sqrt(8 pi F / (c sigma sqrt(pi)))``.
+    """
+    if fluence < 0:
+        raise ValueError("fluence must be non-negative")
+    if sigma <= 0:
+        raise ValueError("sigma must be positive")
+    return float(
+        np.sqrt(8.0 * np.pi * fluence / (SPEED_OF_LIGHT_AU * sigma * np.sqrt(np.pi)))
+    )
+
+
+def fluence_gaussian_pulse(
+    fluence: float,
+    omega: float,
+    t0: float,
+    sigma: float,
+    polarization: np.ndarray | None = None,
+    phase: float = 0.0,
+) -> GaussianLaserPulse:
+    """A :class:`GaussianLaserPulse` parameterised by fluence instead of peak
+    field — the natural sweep axis for excitation-density studies (all
+    arguments in atomic units; fluence in Hartree/Bohr²)."""
+    return GaussianLaserPulse(
+        amplitude=fluence_to_amplitude(fluence, sigma),
+        omega=omega,
+        t0=t0,
+        sigma=sigma,
+        polarization=polarization,
+        phase=phase,
+    )
+
+
+def pump_probe_pulse(
+    pump_wavelength_nm: float = PAPER_LASER_WAVELENGTH_NM,
+    probe_wavelength_nm: float = 2.0 * PAPER_LASER_WAVELENGTH_NM,
+    delay_as: float = 0.0,
+    duration_fs: float = 30.0,
+    amplitude: float | None = None,
+    fluence: float | None = None,
+    probe_ratio: float = 0.1,
+    polarization: np.ndarray | None = None,
+    probe_polarization: np.ndarray | None = None,
+) -> PumpProbePulse:
+    """A pump–probe pair built in the :func:`paper_laser_pulse` geometry.
+
+    Both components are centred at half the ``duration_fs`` window with a
+    width of one sixth of it (the probe then shifted by ``delay_as``
+    attoseconds). The pump strength is set by exactly one of ``amplitude``
+    (peak field, a.u.) or ``fluence`` (Hartree/Bohr², converted through
+    :func:`fluence_to_amplitude`); the probe's peak field is ``probe_ratio``
+    times the pump's.
+    """
+    if (amplitude is None) == (fluence is None):
+        raise ValueError("give exactly one of 'amplitude' (a.u.) or 'fluence' (Ha/Bohr^2)")
+    if probe_ratio < 0:
+        raise ValueError("probe_ratio must be non-negative")
+    window = duration_fs * FEMTOSECOND_TO_AU_TIME
+    t0 = 0.5 * window
+    sigma = window / 6.0
+    if amplitude is None:
+        amplitude = fluence_to_amplitude(fluence, sigma)
+    pump = GaussianLaserPulse(
+        amplitude=amplitude,
+        omega=wavelength_nm_to_energy_hartree(pump_wavelength_nm),
+        t0=t0,
+        sigma=sigma,
+        polarization=polarization,
+    )
+    probe = GaussianLaserPulse(
+        amplitude=probe_ratio * amplitude,
+        omega=wavelength_nm_to_energy_hartree(probe_wavelength_nm),
+        t0=t0,
+        sigma=sigma,
+        polarization=probe_polarization if probe_polarization is not None else polarization,
+    )
+    return PumpProbePulse(pump=pump, probe=probe, delay=delay_as * ATTOSECOND_TO_AU_TIME)
 
 
 def paper_laser_pulse(

@@ -36,6 +36,8 @@ __all__ = [
     "PseudopotentialSpecies",
     "hydrogen_species",
     "silicon_species",
+    "gth_species",
+    "GTH_PARAMETERS",
     "cohen_bergstresser_silicon_species",
     "LocalPotentialBuilder",
     "NonlocalPotential",
@@ -197,6 +199,55 @@ def silicon_species(include_nonlocal: bool = True) -> PseudopotentialSpecies:
         valence_charge=4.0,
         r_loc=0.44,
         local_coefficients=(-7.336103,),
+        projectors=projectors,
+    )
+
+
+#: GTH/HGH-LDA-style parameter sets, one per supported element. Each entry is
+#: ``(valence_charge, r_loc, local_coefficients, ((l, r_l, h), ...))`` in the
+#: conventions of :class:`PseudopotentialSpecies`. As for silicon, only the
+#: first radial projector of each angular-momentum channel is kept and the
+#: off-diagonal ``h_{12}`` couplings are omitted (documented simplification:
+#: eigenvalues shift, operator structure and cost stay faithful). The local
+#: parts follow the published HGH-LDA values; together with
+#: :func:`gth_species` this is the generator behind the ``pseudo/`` assets of
+#: :mod:`repro.assets`.
+GTH_PARAMETERS: dict[str, tuple] = {
+    "H": (1.0, 0.2, (-4.180237, 0.725075), ()),
+    "C": (4.0, 0.348830, (-8.513771, 1.228432), ((0, 0.304553, 9.522842),)),
+    "N": (5.0, 0.289179, (-12.234820, 1.766407), ((0, 0.256605, 13.552243),)),
+    "O": (6.0, 0.247621, (-16.580318, 2.395701), ((0, 0.221786, 18.266917),)),
+    "Al": (3.0, 0.450000, (-8.491351,), ((0, 0.460104, 5.088340), (1, 0.536744, 2.679700))),
+    "Si": (4.0, 0.440000, (-7.336103,), ((0, 0.422738, 5.906928), (1, 0.484278, 2.727013))),
+    "Ge": (4.0, 0.540000, (-6.269333,), ((0, 0.493800, 4.869276), (1, 0.601064, 2.229563))),
+}
+
+
+def gth_species(symbol: str, include_nonlocal: bool = True) -> PseudopotentialSpecies:
+    """A GTH/HGH-style species for any element in :data:`GTH_PARAMETERS`.
+
+    ``gth_species("Si")`` is identical to :func:`silicon_species` and
+    ``gth_species("H")`` to :func:`hydrogen_species`; the remaining elements
+    (C, N, O, Al, Ge) extend the material coverage of the asset library.
+    Unknown symbols raise :class:`ValueError` listing the supported elements.
+    """
+    key = str(symbol).capitalize()
+    if key not in GTH_PARAMETERS:
+        raise ValueError(
+            f"no GTH parameters for element {symbol!r}; "
+            f"supported elements: {sorted(GTH_PARAMETERS)}"
+        )
+    valence, r_loc, local_coefficients, channels = GTH_PARAMETERS[key]
+    projectors: tuple[ProjectorChannel, ...] = ()
+    if include_nonlocal:
+        projectors = tuple(
+            ProjectorChannel(l=l, i=1, r_l=r_l, h=h) for l, r_l, h in channels
+        )
+    return PseudopotentialSpecies(
+        symbol=key,
+        valence_charge=valence,
+        r_loc=r_loc,
+        local_coefficients=local_coefficients,
         projectors=projectors,
     )
 

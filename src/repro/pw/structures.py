@@ -18,12 +18,17 @@ from .lattice import Cell
 from .pseudopotential import (
     PseudopotentialSpecies,
     cohen_bergstresser_silicon_species,
+    gth_species,
     hydrogen_species,
     silicon_species,
 )
 
 __all__ = [
     "Structure",
+    "diamond_crystal",
+    "zincblende_crystal",
+    "diatomic_molecule",
+    "atom_chain",
     "diamond_silicon",
     "silicon_supercell",
     "paper_silicon_series",
@@ -205,6 +210,135 @@ def paper_silicon_series() -> dict[int, tuple[int, int, int]]:
         768: (4, 4, 6),
         1536: (4, 6, 8),
     }
+
+
+# ---------------------------------------------------------------------------
+# Generic crystal recipes (the generators behind the structure/ assets)
+# ---------------------------------------------------------------------------
+
+#: Zincblende sublattice fractions: cations on the fcc sites, anions offset
+#: by (1/4, 1/4, 1/4) — the diamond fractions split into their two sublattices.
+_ZB_CATION_FRACTIONS = _DIAMOND_FRACTIONS[:4]
+_ZB_ANION_FRACTIONS = _DIAMOND_FRACTIONS[4:]
+
+
+def _replicate(cell: Cell, positions: np.ndarray, repeats: tuple[int, int, int]):
+    """Tile ``positions`` (one conventional cell) over an ``nx x ny x nz``
+    supercell; returns ``(supercell, tiled_positions)``."""
+    nx, ny, nz = (int(r) for r in repeats)
+    if min(nx, ny, nz) < 1:
+        raise ValueError(f"repeats must be positive integers, got {tuple(repeats)}")
+    lat = cell.lattice_vectors
+    shifts = np.asarray(
+        [
+            ix * lat[0] + iy * lat[1] + iz * lat[2]
+            for ix in range(nx)
+            for iy in range(ny)
+            for iz in range(nz)
+        ]
+    )
+    tiled = (positions[None, :, :] + shifts[:, None, :]).reshape(-1, 3)
+    return cell.supercell((nx, ny, nz)), tiled
+
+
+def diamond_crystal(
+    species: PseudopotentialSpecies | str,
+    lattice_constant: float,
+    repeats: tuple[int, int, int] = (1, 1, 1),
+) -> Structure:
+    """A diamond-lattice crystal of any single species, at any replication.
+
+    ``species`` may be a :class:`PseudopotentialSpecies` or an element symbol
+    resolved through :func:`gth_species`. ``diamond_crystal("Si", a)`` at
+    ``repeats=(1, 1, 1)`` reproduces :func:`diamond_silicon` geometry.
+    """
+    if isinstance(species, str):
+        species = gth_species(species)
+    cell = Cell.cubic(float(lattice_constant))
+    positions = _DIAMOND_FRACTIONS @ cell.lattice_vectors
+    supercell, tiled = _replicate(cell, positions, repeats)
+    name = f"{species.symbol}{tiled.shape[0]}"
+    return Structure(supercell, [species], [tiled], name=name)
+
+
+def zincblende_crystal(
+    cation: PseudopotentialSpecies | str,
+    anion: PseudopotentialSpecies | str,
+    lattice_constant: float,
+    repeats: tuple[int, int, int] = (1, 1, 1),
+) -> Structure:
+    """A two-species zincblende crystal (e.g. SiC), at any replication."""
+    if isinstance(cation, str):
+        cation = gth_species(cation)
+    if isinstance(anion, str):
+        anion = gth_species(anion)
+    cell = Cell.cubic(float(lattice_constant))
+    cation_positions = _ZB_CATION_FRACTIONS @ cell.lattice_vectors
+    anion_positions = _ZB_ANION_FRACTIONS @ cell.lattice_vectors
+    supercell, cation_tiled = _replicate(cell, cation_positions, repeats)
+    _, anion_tiled = _replicate(cell, anion_positions, repeats)
+    n_pairs = cation_tiled.shape[0]
+    name = f"{cation.symbol}{n_pairs}{anion.symbol}{n_pairs}"
+    return Structure(
+        supercell, [cation, anion], [cation_tiled, anion_tiled], name=name
+    )
+
+
+def diatomic_molecule(
+    species_a: PseudopotentialSpecies | str,
+    species_b: PseudopotentialSpecies | str | None = None,
+    bond_length: float = 1.4,
+    box: float = 12.0,
+) -> Structure:
+    """A (possibly hetero-nuclear) diatomic centred in a cubic box.
+
+    ``species_b=None`` builds the homonuclear molecule;
+    ``diatomic_molecule("H", box=12.0, bond_length=1.4)`` reproduces
+    :func:`hydrogen_molecule`.
+    """
+    if isinstance(species_a, str):
+        species_a = gth_species(species_a)
+    if species_b is None:
+        species_b = species_a
+    elif isinstance(species_b, str):
+        species_b = gth_species(species_b)
+    if bond_length <= 0 or box <= 0:
+        raise ValueError("bond_length and box must be positive")
+    cell = Cell.cubic(float(box))
+    centre = 0.5 * np.array([box, box, box], dtype=float)
+    half = 0.5 * float(bond_length)
+    left = centre - [half, 0.0, 0.0]
+    right = centre + [half, 0.0, 0.0]
+    if species_b is species_a or species_b == species_a:
+        name = f"{species_a.symbol}2"
+        return Structure(cell, [species_a], [np.array([left, right])], name=name)
+    name = f"{species_a.symbol}{species_b.symbol}"
+    return Structure(
+        cell,
+        [species_a, species_b],
+        [np.array([left]), np.array([right])],
+        name=name,
+    )
+
+
+def atom_chain(
+    species: PseudopotentialSpecies | str,
+    n_atoms: int = 4,
+    spacing: float = 2.0,
+    box: float = 10.0,
+) -> Structure:
+    """A periodic single-species chain along x (generalised
+    :func:`hydrogen_chain`)."""
+    if isinstance(species, str):
+        species = gth_species(species)
+    if n_atoms < 1:
+        raise ValueError("n_atoms must be >= 1")
+    length = n_atoms * float(spacing)
+    cell = Cell.orthorhombic(length, float(box), float(box))
+    positions = np.array(
+        [[i * spacing, box / 2.0, box / 2.0] for i in range(n_atoms)], dtype=float
+    )
+    return Structure(cell, [species], [positions], name=f"{species.symbol}{n_atoms}-chain")
 
 
 # ---------------------------------------------------------------------------

@@ -63,6 +63,37 @@ def test_unregister_unknown_name_raises_with_listing():
 
 
 # ---------------------------------------------------------------------------
+# Did-you-mean suggestions
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "registry, typo, suggestion",
+    [
+        (STRUCTURES, "hydrogen_molecle", "hydrogen_molecule"),
+        (STRUCTURES, "silicon_supercel", "silicon_supercell"),
+        (PULSES, "gausian", "gaussian"),
+        (PULSES, "pump_prove", "pump_probe"),
+        (PROPAGATORS, "ptnc", "ptcn"),
+    ],
+)
+def test_near_miss_names_get_did_you_mean(registry, typo, suggestion):
+    with pytest.raises(UnknownNameError) as excinfo:
+        registry.get(typo)
+    message = str(excinfo.value)
+    assert "did you mean" in message
+    assert f"'{suggestion}'" in message
+
+
+def test_far_miss_names_skip_the_suggestion():
+    with pytest.raises(UnknownNameError) as excinfo:
+        PROPAGATORS.get("zzzzzzzzzz")
+    message = str(excinfo.value)
+    assert "did you mean" not in message
+    assert "registered propagators" in message
+
+
+# ---------------------------------------------------------------------------
 # Duplicate registration
 # ---------------------------------------------------------------------------
 

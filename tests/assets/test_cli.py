@@ -1,0 +1,81 @@
+"""The ``python -m repro.assets`` CLI surface."""
+
+import json
+
+import pytest
+
+from repro.assets import default_library
+from repro.assets.cli import main
+
+
+class TestInventory:
+    def test_lists_every_asset(self, capsys):
+        assert main(["inventory"]) == 0
+        out = capsys.readouterr().out
+        for ref in default_library().ids():
+            assert ref in out
+
+    def test_kind_filter(self, capsys):
+        assert main(["inventory", "--kind", "pulse"]) == 0
+        out = capsys.readouterr().out
+        assert "pulse/pump-probe-380+760@1" in out
+        assert "structure/" not in out
+
+    def test_json_output(self, capsys):
+        assert main(["inventory", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert len(data["assets"]) == len(default_library().ids())
+
+
+class TestVerify:
+    def test_builtin_verify_ok(self, capsys):
+        assert main(["verify"]) == 0
+        assert "verify ok" in capsys.readouterr().out
+
+    def test_json_report(self, capsys):
+        assert main(["verify", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] and not report["problems"]
+
+    def test_corrupt_materialised_library_exits_nonzero(self, tmp_path, capsys):
+        root = default_library().materialize(tmp_path / "assets")
+        digest = default_library().digest("pulse/kick-z@1")
+        (root / "payloads" / f"{digest}.json").write_text('{"generator":"evil"}')
+        assert main(["--root", str(root), "verify"]) == 1
+        captured = capsys.readouterr()
+        assert "FAIL" in captured.err
+        assert "FAILED" in captured.out
+
+
+class TestDescribe:
+    def test_payload_and_metadata_shown(self, capsys):
+        assert main(["describe", "pseudo/si/gth-q4@1"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["payload"]["element"] == "Si"
+        assert data["sha256"] == default_library().digest("pseudo/si/gth-q4@1")
+
+    def test_unknown_id_errors_with_suggestion(self, capsys):
+        assert main(["describe", "pseudo/si/gth-q5@1"]) == 1
+        assert "did you mean" in capsys.readouterr().err
+
+
+class TestMaterialize:
+    def test_round_trip_through_cli(self, tmp_path, capsys):
+        dest = tmp_path / "assets"
+        assert main(["materialize", str(dest)]) == 0
+        assert (dest / "manifest.json").is_file()
+        assert main(["--root", str(dest), "verify"]) == 0
+        assert main(["--root", str(dest), "inventory"]) == 0
+
+
+class TestPin:
+    def test_pins_are_current(self, capsys):
+        assert main(["pin", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "PINNED_DIGESTS" in out
+
+
+@pytest.mark.parametrize("argv", [[], ["bogus"]])
+def test_bad_invocations_fail_cleanly(argv):
+    with pytest.raises(SystemExit):
+        main(argv)

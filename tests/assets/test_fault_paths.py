@@ -1,0 +1,204 @@
+"""Asset fault discipline: tampering and inconsistency fail loudly.
+
+Mirrors the result store's contract: corrupt entries are quarantined (moved
+aside for post-mortem, never deleted and never silently skipped) and every
+failure mode raises with an actionable message.
+"""
+
+import json
+
+import pytest
+
+from repro.assets import (
+    AssetError,
+    AssetIntegrityError,
+    AssetLibrary,
+    default_library,
+    payload_digest,
+)
+
+
+@pytest.fixture()
+def disk_library(tmp_path):
+    """A materialised copy of the builtin catalog, safe to corrupt."""
+    root = default_library().materialize(tmp_path / "assets")
+    return AssetLibrary.open(root)
+
+
+def _payload_path(library, ref):
+    return library.root / "payloads" / f"{library.digest(ref)}.json"
+
+
+class TestTamperedPayload:
+    def test_edited_payload_quarantined_and_raises(self, disk_library):
+        ref = "pseudo/si/gth-q4@1"
+        path = _payload_path(disk_library, ref)
+        payload = json.loads(path.read_text())
+        payload["valence_charge"] = 5.0  # silent physics change
+        path.write_text(json.dumps(payload))
+
+        with pytest.raises(AssetIntegrityError, match="quarantined"):
+            disk_library.payload(ref)
+        # quarantined, not deleted: the tampered bytes are preserved aside
+        assert not path.exists()
+        quarantined = list((disk_library.root / "quarantine").iterdir())
+        assert len(quarantined) == 1
+        assert json.loads(quarantined[0].read_text())["valence_charge"] == 5.0
+
+    def test_unparseable_payload_quarantined(self, disk_library):
+        ref = "pulse/kick-z@1"
+        path = _payload_path(disk_library, ref)
+        path.write_text("{not json")
+        with pytest.raises(AssetIntegrityError, match="unreadable"):
+            disk_library.payload(ref)
+        assert not path.exists()
+        assert list((disk_library.root / "quarantine").iterdir())
+
+    def test_non_object_payload_quarantined(self, disk_library):
+        ref = "pulse/kick-z@1"
+        path = _payload_path(disk_library, ref)
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(AssetIntegrityError, match="JSON"):
+            disk_library.payload(ref)
+        assert not path.exists()
+
+    def test_missing_payload_file_raises(self, disk_library):
+        ref = "pulse/kick-z@1"
+        _payload_path(disk_library, ref).unlink()
+        with pytest.raises(AssetIntegrityError, match="missing"):
+            disk_library.payload(ref)
+
+    def test_quarantine_collision_suffixes(self, disk_library):
+        """Two corruptions of the same digest both survive in quarantine."""
+        ref = "pulse/kick-z@1"
+        path = _payload_path(disk_library, ref)
+        for text in ("{bad1", "{bad2"):
+            path.write_text(text)
+            with pytest.raises(AssetIntegrityError):
+                disk_library.payload(ref)
+        assert len(list((disk_library.root / "quarantine").iterdir())) == 2
+
+    def test_verify_reports_tampering_without_masking(self, disk_library):
+        ref = "pseudo/h/gth-q1@1"
+        path = _payload_path(disk_library, ref)
+        payload = json.loads(path.read_text())
+        payload["r_loc"] = 99.0
+        path.write_text(json.dumps(payload))
+        report = disk_library.verify()
+        assert not report["ok"]
+        assert any(problem["id"] == ref for problem in report["problems"])
+
+
+class TestDigestMismatch:
+    def test_manifest_digest_edit_detected(self, disk_library, tmp_path):
+        """An attacker editing the *manifest* digest cannot make a payload
+        pass: the stored payload no longer matches the new pin."""
+        manifest_path = disk_library.root / "manifest.json"
+        data = json.loads(manifest_path.read_text())
+        ref = "pseudo/si/gth-q4@1"
+        data["assets"][ref]["sha256"] = "f" * 64
+        manifest_path.write_text(json.dumps(data))
+        reopened = AssetLibrary.open(disk_library.root)
+        with pytest.raises(AssetIntegrityError):
+            reopened.payload(ref)
+
+    def test_builtin_generator_drift_detected(self, monkeypatch):
+        """If a generator's output stops matching the pinned digest, verify
+        fails — content changes need a version bump, not a silent shift."""
+        from repro.assets import builtin as builtin_mod
+
+        library = AssetLibrary.builtin()
+        ref = "pseudo/si/gth-q4@1"
+        monkeypatch.setitem(builtin_mod.PINNED_DIGESTS, ref, "e" * 64)
+        report = library.verify()
+        assert not report["ok"]
+        assert any(
+            problem["id"] == ref and "drift" in problem["error"]
+            for problem in report["problems"]
+        )
+
+
+class TestElementPseudoMismatch:
+    def test_structure_declaring_wrong_element_rejected(self, disk_library):
+        """A structure whose species entry names one element but links a
+        different element's pseudopotential must not build."""
+        manifest_path = disk_library.root / "manifest.json"
+        ref = "structure/h2-box@1"
+        payload = disk_library.payload(ref)
+        payload["species"][0]["element"] = "C"  # still links pseudo/h/gth-q1@1
+        new_digest = payload_digest(payload)
+        (disk_library.root / "payloads" / f"{new_digest}.json").write_text(json.dumps(payload))
+        data = json.loads(manifest_path.read_text())
+        data["assets"][ref]["sha256"] = new_digest
+        manifest_path.write_text(json.dumps(data))
+
+        reopened = AssetLibrary.open(disk_library.root)
+        with pytest.raises(AssetIntegrityError, match="declares element"):
+            reopened.build(ref)
+
+    def test_stale_merkle_pin_rejected(self, disk_library):
+        """A structure pinning its pseudo at a digest the library no longer
+        holds fails integrity — the pseudo content changed under it."""
+        manifest_path = disk_library.root / "manifest.json"
+        ref = "structure/h2-box@1"
+        payload = disk_library.payload(ref)
+        payload["species"][0]["pseudo"]["sha256"] = "a" * 64
+        new_digest = payload_digest(payload)
+        (disk_library.root / "payloads" / f"{new_digest}.json").write_text(json.dumps(payload))
+        data = json.loads(manifest_path.read_text())
+        data["assets"][ref]["sha256"] = new_digest
+        manifest_path.write_text(json.dumps(data))
+
+        reopened = AssetLibrary.open(disk_library.root)
+        with pytest.raises(AssetIntegrityError, match="pins"):
+            reopened.build(ref)
+
+
+class TestUnknownManifestVersion:
+    def test_open_rejects_future_version(self, disk_library):
+        manifest_path = disk_library.root / "manifest.json"
+        data = json.loads(manifest_path.read_text())
+        data["manifest_version"] = 99
+        manifest_path.write_text(json.dumps(data))
+        with pytest.raises(AssetError, match="unsupported manifest version"):
+            AssetLibrary.open(disk_library.root)
+
+    def test_open_rejects_garbage_manifest(self, disk_library):
+        (disk_library.root / "manifest.json").write_text("{broken")
+        with pytest.raises(AssetError, match="unreadable"):
+            AssetLibrary.open(disk_library.root)
+
+
+class TestBuilderFaults:
+    def test_pseudo_rejects_overrides(self):
+        library = default_library()
+        with pytest.raises(AssetError, match="no build parameters"):
+            library.build("pseudo/si/gth-q4@1", r_loc=0.5)
+
+    def test_unknown_generator_rejected(self):
+        from repro.assets.builtin import build_pulse, build_structure
+
+        with pytest.raises(AssetError, match="unknown pulse generator"):
+            build_pulse({"generator": "nope", "params": {}})
+        with pytest.raises(AssetError, match="unknown structure generator"):
+            build_structure(
+                {
+                    "generator": "nope",
+                    "species": [
+                        {
+                            "element": "Si",
+                            "pseudo": {
+                                "ref": "pseudo/si/gth-q4@1",
+                                "sha256": default_library().digest("pseudo/si/gth-q4@1"),
+                            },
+                        }
+                    ],
+                },
+                default_library(),
+            )
+
+    def test_bad_pulse_params_actionable(self):
+        from repro.assets.builtin import build_pulse
+
+        with pytest.raises(AssetError, match="bad parameters"):
+            build_pulse({"generator": "delta_kick", "params": {"nonsense": 1}})

@@ -1,0 +1,224 @@
+"""Asset-id grammar, canonical payload encoding, and manifest round-trips.
+
+The hypothesis suites pin *canonicality*: equal payloads hash identically
+regardless of key order, nesting, or how many JSON round-trips they survived
+— the property every content-addressed store key downstream relies on.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assets import (
+    MANIFEST_VERSION,
+    AssetError,
+    AssetId,
+    AssetManifest,
+    AssetRecord,
+    UnknownAssetError,
+    canonical_payload_bytes,
+    payload_digest,
+)
+
+
+# ---------------------------------------------------------------------------
+# AssetId grammar
+# ---------------------------------------------------------------------------
+
+
+class TestAssetId:
+    @pytest.mark.parametrize(
+        "text, kind, name, version",
+        [
+            ("pseudo/si/gth-q4@1", "pseudo", "si/gth-q4", 1),
+            ("structure/si-diamond-2x2x2@1", "structure", "si-diamond-2x2x2", 1),
+            ("pulse/pump-probe-380+760@12", "pulse", "pump-probe-380+760", 12),
+        ],
+    )
+    def test_parse_round_trip(self, text, kind, name, version):
+        asset_id = AssetId.parse(text)
+        assert (asset_id.kind, asset_id.name, asset_id.version) == (kind, name, version)
+        assert str(asset_id) == text
+        assert AssetId.parse(str(asset_id)) == asset_id
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",  # empty
+            "pseudo/si",  # no version
+            "pseudo@1",  # no name
+            "spectra/si@1",  # unknown kind
+            "pseudo/si@0",  # version < 1
+            "pseudo/si@one",  # non-integer version
+            "pseudo/Si@1",  # uppercase segment
+            "pseudo/-si@1",  # bad leading char
+            "pseudo/a b@1",  # whitespace
+        ],
+    )
+    def test_invalid_ids_rejected(self, bad):
+        with pytest.raises(AssetError):
+            AssetId.parse(bad)
+
+    def test_direct_construction_validates(self):
+        with pytest.raises(AssetError):
+            AssetId(kind="pseudo", name="si", version=True)
+        with pytest.raises(AssetError):
+            AssetId(kind="nope", name="si", version=1)
+
+
+# ---------------------------------------------------------------------------
+# Canonical encoding
+# ---------------------------------------------------------------------------
+
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10**9), max_value=10**9),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.text(max_size=12),
+)
+
+_payloads = st.dictionaries(
+    st.text(min_size=1, max_size=8),
+    st.recursive(
+        _scalars,
+        lambda children: st.one_of(
+            st.lists(children, max_size=4),
+            st.dictionaries(st.text(min_size=1, max_size=8), children, max_size=4),
+        ),
+        max_leaves=12,
+    ),
+    max_size=6,
+)
+
+
+class TestCanonicalEncoding:
+    def test_key_order_irrelevant(self):
+        a = {"x": 1, "y": {"b": 2.5, "a": [1, 2]}}
+        b = {"y": {"a": [1, 2], "b": 2.5}, "x": 1}
+        assert canonical_payload_bytes(a) == canonical_payload_bytes(b)
+        assert payload_digest(a) == payload_digest(b)
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(AssetError):
+            canonical_payload_bytes([1, 2, 3])
+
+    def test_nan_rejected(self):
+        with pytest.raises(AssetError):
+            canonical_payload_bytes({"x": float("nan")})
+
+    def test_non_serialisable_rejected(self):
+        with pytest.raises(AssetError):
+            canonical_payload_bytes({"x": object()})
+
+    @settings(max_examples=100, deadline=None)
+    @given(payload=_payloads, rnd=st.randoms(use_true_random=False))
+    def test_key_shuffle_hashes_identically(self, payload, rnd):
+        keys = list(payload)
+        rnd.shuffle(keys)
+        shuffled = {key: payload[key] for key in keys}
+        assert payload_digest(shuffled) == payload_digest(payload)
+
+    @settings(max_examples=100, deadline=None)
+    @given(payload=_payloads)
+    def test_json_round_trip_hashes_identically(self, payload):
+        """A payload that went through JSON (any formatting, any float repr
+        drift the dumps/loads cycle produces) hashes the same — materialise
+        then re-open never shifts digests."""
+        round_tripped = json.loads(json.dumps(payload, indent=3))
+        assert payload_digest(round_tripped) == payload_digest(payload)
+
+    @settings(max_examples=100, deadline=None)
+    @given(payload=_payloads)
+    def test_canonical_bytes_are_fixed_point(self, payload):
+        once = canonical_payload_bytes(payload)
+        again = canonical_payload_bytes(json.loads(once.decode()))
+        assert once == again
+
+    def test_float_formatting_is_shortest_repr(self):
+        # 0.1 + 0.2 != 0.3: distinct doubles must stay distinct
+        assert payload_digest({"x": 0.1 + 0.2}) != payload_digest({"x": 0.3})
+        # but the same double via different literals is identical
+        assert payload_digest({"x": 1e-06}) == payload_digest({"x": 0.000001})
+
+
+# ---------------------------------------------------------------------------
+# Records and the manifest
+# ---------------------------------------------------------------------------
+
+
+def _record(id_text="pseudo/si/gth-q4@1", **kwargs):
+    defaults = dict(
+        asset_id=AssetId.parse(id_text),
+        sha256="0" * 64,
+        element="Si",
+        description="test",
+        provenance="builtin:test",
+    )
+    defaults.update(kwargs)
+    return AssetRecord(**defaults)
+
+
+class TestManifest:
+    def test_round_trip(self):
+        manifest = AssetManifest()
+        manifest.add(_record())
+        manifest.add(_record("pulse/kick-z@1", element=None))
+        data = manifest.as_dict()
+        assert data["manifest_version"] == MANIFEST_VERSION
+        rebuilt = AssetManifest.from_dict(json.loads(json.dumps(data)))
+        assert rebuilt.ids() == manifest.ids()
+        assert rebuilt.get("pseudo/si/gth-q4@1") == manifest.get("pseudo/si/gth-q4@1")
+
+    def test_duplicate_rejected(self):
+        manifest = AssetManifest()
+        manifest.add(_record())
+        with pytest.raises(AssetError, match="duplicate"):
+            manifest.add(_record())
+
+    def test_ids_filter_by_kind(self):
+        manifest = AssetManifest()
+        manifest.add(_record())
+        manifest.add(_record("pulse/kick-z@1", element=None))
+        assert manifest.ids("pulse") == ["pulse/kick-z@1"]
+        assert len(manifest.ids()) == 2
+
+    def test_unknown_asset_message_suggests(self):
+        manifest = AssetManifest()
+        manifest.add(_record())
+        with pytest.raises(UnknownAssetError) as excinfo:
+            manifest.get("pseudo/si/gth-q5@1")
+        message = str(excinfo.value)
+        assert "pseudo/si/gth-q4@1" in message
+        assert "did you mean" in message
+
+    def test_unknown_manifest_version_rejected(self):
+        data = {"manifest_version": MANIFEST_VERSION + 1, "assets": {}}
+        with pytest.raises(AssetError, match="unsupported manifest version"):
+            AssetManifest.from_dict(data)
+        with pytest.raises(AssetError, match="unsupported manifest version"):
+            AssetManifest(version=MANIFEST_VERSION + 1)
+
+    def test_missing_version_rejected(self):
+        with pytest.raises(AssetError, match="unsupported manifest version"):
+            AssetManifest.from_dict({"assets": {}})
+
+    def test_mismatched_entry_key_rejected(self):
+        entry = _record().as_dict()
+        data = {"manifest_version": MANIFEST_VERSION, "assets": {"pseudo/c/gth-q4@1": entry}}
+        with pytest.raises(AssetError, match="filed under"):
+            AssetManifest.from_dict(data)
+
+    def test_kind_id_mismatch_rejected(self):
+        entry = _record().as_dict()
+        entry["kind"] = "pulse"
+        with pytest.raises(AssetError, match="declares kind"):
+            AssetRecord.from_dict(entry)
+
+    def test_bad_sha_rejected(self):
+        entry = _record().as_dict()
+        entry["sha256"] = "short"
+        with pytest.raises(AssetError, match="sha256"):
+            AssetRecord.from_dict(entry)

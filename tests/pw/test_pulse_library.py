@@ -1,0 +1,163 @@
+"""Pump-probe pulses, fluence parameterisation, and the sawtooth LRU cache."""
+
+import numpy as np
+import pytest
+
+from repro.constants import (
+    ATTOSECOND_TO_AU_TIME,
+    SPEED_OF_LIGHT_AU,
+)
+from repro.pw.grid import FFTGrid
+from repro.pw.laser import (
+    GaussianLaserPulse,
+    PumpProbePulse,
+    _SAWTOOTH_CACHE,
+    _SAWTOOTH_CACHE_SIZE,
+    fluence_gaussian_pulse,
+    fluence_to_amplitude,
+    pump_probe_pulse,
+    sawtooth_position,
+)
+from repro.pw.lattice import Cell
+
+
+def _pulse(amplitude=0.1, omega=0.5, t0=10.0, sigma=2.0, polarization=None):
+    return GaussianLaserPulse(
+        amplitude=amplitude, omega=omega, t0=t0, sigma=sigma, polarization=polarization
+    )
+
+
+class TestPumpProbePulse:
+    def test_field_is_sum_of_components(self):
+        pair = PumpProbePulse(pump=_pulse(), probe=_pulse(amplitude=0.02), delay=3.0)
+        t = 9.0
+        expected = pair.pump.field(t) + pair.probe.field(t - 3.0)
+        assert pair.field(t) == pytest.approx(expected)
+        assert np.allclose(pair.field_vector(t), expected * pair.pump.polarization)
+
+    def test_sample_matches_field(self):
+        pair = PumpProbePulse(pump=_pulse(), probe=_pulse(amplitude=0.05), delay=2.0)
+        times = np.linspace(0.0, 25.0, 11)
+        assert np.allclose(pair.sample(times), [pair.field(t) for t in times])
+
+    def test_cross_polarised_probe_projects(self):
+        pair = PumpProbePulse(
+            pump=_pulse(polarization=[0, 0, 1]),
+            probe=_pulse(amplitude=0.05, polarization=[1, 0, 0]),
+            delay=0.0,
+        )
+        t = 10.0
+        # the scalar field (pump axis) must not see the orthogonal probe
+        assert pair.field(t) == pytest.approx(pair.pump.field(t))
+        vec = pair.field_vector(t)
+        assert vec[0] == pytest.approx(pair.probe.field(t))
+        assert np.allclose(pair.polarization, [0, 0, 1])
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="GaussianLaserPulse"):
+            PumpProbePulse(pump=_pulse(), probe="not a pulse")
+        with pytest.raises(ValueError, match="delay"):
+            PumpProbePulse(pump=_pulse(), probe=_pulse(), delay=-1.0)
+
+    def test_potential_factory_sums_components(self):
+        cell = Cell.cubic(8.0)
+        grid = FFTGrid(cell, (6, 6, 6))
+        pair = PumpProbePulse(
+            pump=_pulse(polarization=[0, 0, 1]),
+            probe=_pulse(amplitude=0.05, polarization=[1, 0, 0]),
+            delay=1.0,
+        )
+        v = pair.potential_factory(grid)(9.0)
+        expected = pair.pump.field(9.0) * sawtooth_position(grid, [0, 0, 1]) + pair.probe.field(
+            8.0
+        ) * sawtooth_position(grid, [1, 0, 0])
+        assert np.allclose(v, expected)
+
+
+class TestFluence:
+    def test_fluence_amplitude_round_trip(self):
+        sigma = 50.0
+        amplitude = fluence_to_amplitude(1e-6, sigma)
+        # invert: F = (c / 8 pi) E0^2 sigma sqrt(pi)
+        fluence = SPEED_OF_LIGHT_AU * amplitude**2 * sigma * np.sqrt(np.pi) / (8.0 * np.pi)
+        assert fluence == pytest.approx(1e-6)
+
+    def test_amplitude_scales_as_sqrt_fluence(self):
+        assert fluence_to_amplitude(4e-6, 10.0) == pytest.approx(
+            2.0 * fluence_to_amplitude(1e-6, 10.0)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fluence_to_amplitude(-1e-6, 10.0)
+        with pytest.raises(ValueError):
+            fluence_to_amplitude(1e-6, 0.0)
+
+    def test_fluence_gaussian_pulse(self):
+        pulse = fluence_gaussian_pulse(1e-6, omega=0.12, t0=100.0, sigma=25.0)
+        assert pulse.amplitude == pytest.approx(fluence_to_amplitude(1e-6, 25.0))
+        assert pulse.omega == 0.12
+
+
+class TestPumpProbeFactory:
+    def test_exactly_one_strength_parameter(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            pump_probe_pulse()
+        with pytest.raises(ValueError, match="exactly one"):
+            pump_probe_pulse(amplitude=0.01, fluence=1e-6)
+
+    def test_geometry_and_ratio(self):
+        pair = pump_probe_pulse(amplitude=0.01, probe_ratio=0.2, delay_as=40.0)
+        assert pair.pump.amplitude == pytest.approx(0.01)
+        assert pair.probe.amplitude == pytest.approx(0.002)
+        assert pair.delay == pytest.approx(40.0 * ATTOSECOND_TO_AU_TIME)
+        # probe at twice the pump wavelength -> half the carrier frequency
+        assert pair.probe.omega == pytest.approx(pair.pump.omega / 2.0)
+
+    def test_fluence_parameterisation(self):
+        pair = pump_probe_pulse(fluence=1e-6)
+        assert pair.pump.amplitude == pytest.approx(
+            fluence_to_amplitude(1e-6, pair.pump.sigma)
+        )
+
+
+class TestSawtoothLRUCache:
+    def _fresh_grid(self, n=4):
+        return FFTGrid(Cell.cubic(6.0), (n, n, n))
+
+    def test_cache_is_bounded(self):
+        _SAWTOOTH_CACHE.clear()
+        grids = [self._fresh_grid() for _ in range(_SAWTOOTH_CACHE_SIZE + 8)]
+        for grid in grids:
+            sawtooth_position(grid, [0, 0, 1])
+        assert len(_SAWTOOTH_CACHE) == _SAWTOOTH_CACHE_SIZE
+
+    def test_hit_returns_same_array_and_refreshes_rank(self):
+        _SAWTOOTH_CACHE.clear()
+        hot = self._fresh_grid()
+        first = sawtooth_position(hot, [0, 0, 1])
+        # fill the cache almost to capacity with other grids...
+        others = [self._fresh_grid() for _ in range(_SAWTOOTH_CACHE_SIZE - 1)]
+        for grid in others:
+            sawtooth_position(grid, [0, 0, 1])
+        # ...touch the hot grid so it is most-recent, then overflow by one
+        assert sawtooth_position(hot, [0, 0, 1]) is first
+        overflow = self._fresh_grid()
+        sawtooth_position(overflow, [0, 0, 1])
+        # the hot entry survived the eviction; the oldest other was dropped
+        assert sawtooth_position(hot, [0, 0, 1]) is first
+        assert len(_SAWTOOTH_CACHE) == _SAWTOOTH_CACHE_SIZE
+
+    def test_distinct_directions_cached_separately(self):
+        _SAWTOOTH_CACHE.clear()
+        grid = self._fresh_grid()
+        rz = sawtooth_position(grid, [0, 0, 1])
+        rx = sawtooth_position(grid, [1, 0, 0])
+        assert rz is not rx
+        assert sawtooth_position(grid, [0, 0, 1]) is rz
+
+    def test_results_read_only(self):
+        grid = self._fresh_grid()
+        r = sawtooth_position(grid, [0, 0, 1])
+        with pytest.raises(ValueError):
+            r[0, 0, 0] = 1.0
